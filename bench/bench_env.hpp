@@ -1,0 +1,23 @@
+// Shared helpers for the figure harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace p2plab::bench {
+
+/// Integer knob from the environment (experiment scaling overrides).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    const long parsed = std::atol(value);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline void banner(const char* figure, const std::string& description) {
+  std::printf("# === %s: %s ===\n", figure, description.c_str());
+}
+
+}  // namespace p2plab::bench

@@ -1,0 +1,143 @@
+// Microbenchmarks of the platform's hot paths (google-benchmark).
+//
+// These are engineering benchmarks, not paper figures: they bound the
+// wall-clock cost of the mechanisms that the 10^8-event experiments lean
+// on (event queue, rule scan, pipes, SHA-1, picker).
+#include <benchmark/benchmark.h>
+
+#include "bittorrent/bencode.hpp"
+#include "bittorrent/picker.hpp"
+#include "bittorrent/sha1.hpp"
+#include "common/rng.hpp"
+#include "core/platform.hpp"
+#include "ipfw/firewall.hpp"
+#include "sim/simulation.hpp"
+
+using namespace p2plab;
+
+namespace {
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  sim::Simulation sim;
+  const auto horizon = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  // Keep `horizon` events pending; each iteration schedules one and
+  // dispatches one.
+  for (std::int64_t i = 0; i < horizon; ++i) {
+    sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+  }
+  for (auto _ : state) {
+    sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(1000)->Arg(100000);
+
+void BM_LinearClassifierScan(benchmark::State& state) {
+  sim::Simulation sim;
+  ipfw::Firewall fw(sim, {}, Rng{1});
+  fw.add_filler_rules(1000, static_cast<std::uint32_t>(state.range(0)));
+  const auto src = *Ipv4Addr::parse("10.0.0.1");
+  const auto dst = *Ipv4Addr::parse("10.0.0.2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.classify(src, dst, ipfw::RuleDir::kOut));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LinearClassifierScan)->Arg(64)->Arg(1000)->Arg(50000);
+
+void BM_HashClassifierScan(benchmark::State& state) {
+  sim::Simulation sim;
+  ipfw::Firewall fw(sim, {.use_hash_classifier = true}, Rng{1});
+  fw.add_filler_rules(1000, static_cast<std::uint32_t>(state.range(0)));
+  const auto src = *Ipv4Addr::parse("10.0.0.1");
+  const auto dst = *Ipv4Addr::parse("10.0.0.2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.classify(src, dst, ipfw::RuleDir::kOut));
+  }
+}
+BENCHMARK(BM_HashClassifierScan)->Arg(50000);
+
+void BM_PipeTransit(benchmark::State& state) {
+  sim::Simulation sim;
+  ipfw::Pipe pipe(sim,
+                  {.bandwidth = Bandwidth::gbps(10),
+                   .queue_limit = DataSize::mib(64)},
+                  Rng{1});
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    pipe.enqueue(ipfw::Pipe::Segment{.size = DataSize::kib(16),
+                                     .flow = delivered % 8,
+                                     .on_exit = [&delivered] { ++delivered; }});
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_PipeTransit);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bt::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(16 * 1024)->Arg(256 * 1024);
+
+void BM_BencodeRoundTrip(benchmark::State& state) {
+  bt::BDict info;
+  info.emplace("length", bt::BValue{16777216});
+  info.emplace("name", bt::BValue{"experiment.dat"});
+  info.emplace("piece length", bt::BValue{262144});
+  info.emplace("pieces", bt::BValue{std::string(20 * 64, 'x')});
+  const bt::BValue value{info};
+  for (auto _ : state) {
+    const std::string encoded = bt::bencode(value);
+    benchmark::DoNotOptimize(bt::bdecode(encoded));
+  }
+}
+BENCHMARK(BM_BencodeRoundTrip);
+
+void BM_PickerPick(benchmark::State& state) {
+  const auto meta =
+      bt::MetaInfo::make_synthetic("f", DataSize::mib(16), 1, false);
+  bt::PieceStore store(meta, false);
+  bt::PiecePicker picker(meta, store, Rng{1});
+  bt::Bitfield have(meta.piece_count());
+  have.set_all();
+  picker.peer_has_bitfield(have);
+  for (auto _ : state) {
+    const auto ref = picker.pick(have);
+    benchmark::DoNotOptimize(ref);
+    if (ref) {
+      picker.on_requested(*ref);
+      picker.on_request_discarded(*ref);  // keep state steady
+    }
+  }
+}
+BENCHMARK(BM_PickerPick);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  // Whole-platform packet path cost (both directions, all layers).
+  core::Platform platform(topology::homogeneous_dsl(2),
+                          core::PlatformConfig{.physical_nodes = 2});
+  for (auto _ : state) {
+    bool done = false;
+    platform.ping(platform.vnode(0).ip(), platform.vnode(1).ip(),
+                  [&](Duration) { done = true; });
+    platform.sim().run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_PingRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

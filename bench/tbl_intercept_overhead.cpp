@@ -1,0 +1,62 @@
+// The virtualization-section microbenchmark: cost of the libc
+// interception on a local TCP connect/disconnect cycle.
+//
+// Paper numbers: 10.22 us unmodified vs 10.79 us with the modified libc
+// (an extra getenv + bind per connect/listen). Both emerge from the
+// syscall cost model; the bench also demonstrates the behavioural side:
+// an intercepted process binds to its vnode alias, a statically linked one
+// leaks the physical node's identity.
+#include <cstdio>
+
+#include "bench_env.hpp"
+#include "core/platform.hpp"
+#include "metrics/trace.hpp"
+
+using namespace p2plab;
+
+int main() {
+  bench::banner("Table (virtualization)",
+                "libc interception overhead on connect/disconnect");
+  metrics::CsvWriter csv("tbl_intercept_overhead",
+                         {"case", "connect_cycle_us"});
+
+  const vnode::SyscallCosts costs;
+  csv.row({"unmodified_libc",
+           std::to_string(costs.base_connect_cycle().to_micros())});
+  csv.row({"intercepted_libc",
+           std::to_string(costs.intercepted_connect_cycle().to_micros())});
+  csv.row({"overhead",
+           std::to_string((costs.intercepted_connect_cycle() -
+                           costs.base_connect_cycle())
+                              .to_micros())});
+  csv.comment("paper: 10.22 us -> 10.79 us");
+
+  // Behavioural demonstration on the platform.
+  core::Platform platform(topology::homogeneous_dsl(2),
+                          core::PlatformConfig{.physical_nodes = 2});
+  Ipv4Addr seen_dynamic;
+  Ipv4Addr seen_static;
+  auto listener = platform.api(1).listen(
+      7000, [&](sockets::StreamSocketPtr sock) {
+        if (seen_dynamic == Ipv4Addr{}) {
+          seen_dynamic = sock->remote_ip();
+        } else {
+          seen_static = sock->remote_ip();
+        }
+      });
+  platform.api(0).connect(platform.vnode(1).ip(), 7000,
+                          [](sockets::StreamSocketPtr) {});
+  platform.sim().run();
+  vnode::Process static_proc(platform.vnode(0), vnode::LinkMode::kStatic);
+  sockets::SocketApi static_api(platform.sockets(), static_proc);
+  static_api.connect(platform.vnode(1).ip(), 7000,
+                     [](sockets::StreamSocketPtr) {});
+  platform.sim().run();
+
+  std::printf("# dynamic binary appears as %s (its vnode alias)\n",
+              seen_dynamic.to_string().c_str());
+  std::printf("# static binary appears as %s (the physical node: "
+              "interception bypassed — the paper's failure case)\n",
+              seen_static.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Scheduler suitability study (the paper's "Suitability of FreeBSD").
+//
+//   $ ./examples/scheduler_study
+//
+// Runs the three experiments the paper uses to qualify a host OS for
+// process-level virtualization, on the scheduler models:
+//   1. throughput under oversubscription (Figure 1's question);
+//   2. behaviour under memory pressure / swap (Figure 2's);
+//   3. fairness across identical processes (Figure 3's).
+#include <algorithm>
+#include <cstdio>
+
+#include "metrics/stats.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/tasks.hpp"
+
+using namespace p2plab;
+
+namespace {
+
+const sched::SchedulerKind kKinds[] = {
+    sched::SchedulerKind::kUle, sched::SchedulerKind::kBsd4,
+    sched::SchedulerKind::kLinuxOne, sched::SchedulerKind::kUleFreebsd5};
+
+sched::HostConfig host_for(sched::SchedulerKind kind) {
+  sched::HostConfig config;
+  config.kind = kind;
+  config.seed = 7;
+  config.work_noise = 0.01;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1) %d concurrent CPU-bound processes (1.65 s alone): "
+              "average per-process time\n",
+              500);
+  for (const auto kind : kKinds) {
+    sched::CpuHost host(host_for(kind));
+    const auto result =
+        host.run(workload::batch(workload::ackermann_task(), 500));
+    std::printf("   %-13s %.4f s  (makespan %.0f s, %llu ctx switches)\n",
+                sched::to_string(kind),
+                result.avg_normalized_time_sec(
+                    host.traits().batch_fixed_cost),
+                result.makespan.to_seconds(),
+                static_cast<unsigned long long>(result.context_switches));
+  }
+
+  std::printf("\n2) 50 memory-hungry processes (60 MiB each, 2 GiB RAM): "
+              "swap behaviour\n");
+  for (const auto kind :
+       {sched::SchedulerKind::kBsd4, sched::SchedulerKind::kLinuxOne}) {
+    sched::CpuHost host(host_for(kind));
+    const auto result =
+        host.run(workload::batch(workload::matrix_task(), 50));
+    std::printf("   %-13s %.2f s per process (1.2 s alone) — %s\n",
+                sched::to_string(kind),
+                result.avg_normalized_time_sec(
+                    host.traits().batch_fixed_cost),
+                kind == sched::SchedulerKind::kBsd4
+                    ? "FreeBSD thrashes once swap is needed"
+                    : "Linux 2.6 shrugs it off");
+  }
+
+  std::printf("\n3) fairness: 100 identical 5 s processes, completion-time "
+              "spread\n");
+  for (const auto kind : kKinds) {
+    sched::CpuHost host(host_for(kind));
+    const auto result =
+        host.run(workload::batch(workload::fairness_task(), 100));
+    metrics::Distribution finish;
+    for (const auto& proc : result.procs) {
+      finish.add(proc.finish.to_seconds());
+    }
+    std::printf("   %-13s min %.0f s  median %.0f s  max %.0f s  "
+                "(spread %.0f s)%s\n",
+                sched::to_string(kind), finish.min(), finish.median(),
+                finish.max(), finish.max() - finish.min(),
+                kind == sched::SchedulerKind::kUleFreebsd5
+                    ? "  <- the FreeBSD 5 pathology"
+                    : "");
+  }
+
+  std::printf("\nThe paper's conclusion: use FreeBSD with the 4BSD "
+              "scheduler for P2PLab, keep working sets in RAM.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+# NOTE: gnuplot is not installed in the build container; this script is
+# provided for plotting the CSVs on a workstation.
+# Regenerate the paper's plots from the bench CSVs.
+#   P2PLAB_RESULTS_DIR=results ./build/bench/<fig...>   (per figure)
+#   gnuplot -e "dir='results'" plots/figures.gp
+# Produces PNGs next to the CSVs.
+if (!exists("dir")) dir = "results"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set key outside
+set grid
+
+set output dir."/fig1.png"
+set title "Figure 1: avg per-process time vs concurrency"
+set xlabel "concurrent processes"; set ylabel "seconds"
+plot dir."/fig1_concurrent_cpu.csv" using 1:($0>0 && strcol(2) eq "ULE" ? $3:1/0) w lp t "ULE", \
+     "" using 1:(strcol(2) eq "4BSD" ? $3:1/0) w lp t "4BSD", \
+     "" using 1:(strcol(2) eq "Linux-2.6" ? $3:1/0) w lp t "Linux 2.6"
+
+set output dir."/fig2.png"
+set title "Figure 2: memory-intensive processes"
+plot dir."/fig2_memory_pressure.csv" using 1:(strcol(2) eq "4BSD" ? $3:1/0) w lp t "FreeBSD 4BSD", \
+     "" using 1:(strcol(2) eq "Linux-2.6" ? $3:1/0) w lp t "Linux 2.6"
+
+set output dir."/fig3.png"
+set title "Figure 3: CDF of completion times (100 processes)"
+set xlabel "execution time (s)"; set ylabel "F(x)"
+plot dir."/fig3_fairness_cdf.csv" using 2:(strcol(1) eq "ULE" ? $3:1/0) w steps t "ULE", \
+     "" using 2:(strcol(1) eq "4BSD" ? $3:1/0) w steps t "4BSD", \
+     "" using 2:(strcol(1) eq "Linux-2.6" ? $3:1/0) w steps t "Linux 2.6", \
+     "" using 2:(strcol(1) eq "ULE-FreeBSD5" ? $3:1/0) w steps t "ULE (FreeBSD 5)"
+
+set output dir."/fig6.png"
+set title "Figure 6: ping RTT vs firewall rules"
+set xlabel "rules"; set ylabel "RTT (ms)"
+plot dir."/fig6_ipfw_rules.csv" using 1:2 w lp t "avg RTT"
+
+set output dir."/fig8.png"
+set title "Figure 8: 160-client download envelope"
+set xlabel "time (s)"; set ylabel "% of file"
+plot dir."/fig8_progress_envelope.csv" using 1:2 w l t "min", \
+     "" using 1:4 w l t "median", "" using 1:6 w l t "max"
+
+set output dir."/fig9.png"
+set title "Figure 9: folding ratio"
+set ylabel "total bytes received"
+plot dir."/fig9_folding_ratio.csv" using 1:2 w l t "1x", \
+     "" using 1:3 w l t "10x", "" using 1:4 w l t "20x", \
+     "" using 1:5 w l t "40x", "" using 1:6 w l t "80x"
+
+set output dir."/fig11.png"
+set title "Figure 11: clients having completed"
+set ylabel "clients complete"
+plot dir."/fig11_completion_curve.csv" using 1:2 w steps t "completions"

@@ -1,0 +1,149 @@
+#include "bittorrent/bencode.hpp"
+
+#include <charconv>
+
+namespace p2plab::bt {
+
+const BValue* BValue::find(const std::string& key) const {
+  if (!is_dict()) return nullptr;
+  const auto& dict = as_dict();
+  const auto it = dict.find(key);
+  return it == dict.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void encode_into(const BValue& value, std::string& out) {
+  if (value.is_int()) {
+    out += 'i';
+    out += std::to_string(value.as_int());
+    out += 'e';
+  } else if (value.is_string()) {
+    const std::string& s = value.as_string();
+    out += std::to_string(s.size());
+    out += ':';
+    out += s;
+  } else if (value.is_list()) {
+    out += 'l';
+    for (const BValue& item : value.as_list()) encode_into(item, out);
+    out += 'e';
+  } else {
+    out += 'd';
+    for (const auto& [key, item] : value.as_dict()) {
+      out += std::to_string(key.size());
+      out += ':';
+      out += key;
+      encode_into(item, out);
+    }
+    out += 'e';
+  }
+}
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view input) : input_(input) {}
+
+  std::optional<BValue> decode_all() {
+    auto value = decode_value(0);
+    if (!value || pos_ != input_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::optional<BValue> decode_value(int depth) {
+    if (depth > kMaxDepth || pos_ >= input_.size()) return std::nullopt;
+    const char c = input_[pos_];
+    if (c == 'i') return decode_int();
+    if (c == 'l') return decode_list(depth);
+    if (c == 'd') return decode_dict(depth);
+    if (c >= '0' && c <= '9') return decode_string();
+    return std::nullopt;
+  }
+
+  std::optional<BValue> decode_int() {
+    ++pos_;  // 'i'
+    const std::size_t end = input_.find('e', pos_);
+    if (end == std::string_view::npos || end == pos_) return std::nullopt;
+    const std::string_view digits = input_.substr(pos_, end - pos_);
+    // Reject "i-0e" and leading zeros (canonical form only).
+    if (digits == "-" || (digits.size() > 1 && digits[0] == '0') ||
+        (digits.size() > 2 && digits[0] == '-' && digits[1] == '0') ||
+        digits == "-0") {
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+    pos_ = end + 1;
+    return BValue{value};
+  }
+
+  std::optional<BValue> decode_string() {
+    const std::size_t colon = input_.find(':', pos_);
+    if (colon == std::string_view::npos) return std::nullopt;
+    const std::string_view digits = input_.substr(pos_, colon - pos_);
+    if (digits.empty() || (digits.size() > 1 && digits[0] == '0')) {
+      return std::nullopt;
+    }
+    std::uint64_t length = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), length);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+    if (colon + 1 + length > input_.size()) return std::nullopt;
+    BValue result{std::string(input_.substr(colon + 1, length))};
+    pos_ = colon + 1 + length;
+    return result;
+  }
+
+  std::optional<BValue> decode_list(int depth) {
+    ++pos_;  // 'l'
+    BList list;
+    while (pos_ < input_.size() && input_[pos_] != 'e') {
+      auto item = decode_value(depth + 1);
+      if (!item) return std::nullopt;
+      list.push_back(std::move(*item));
+    }
+    if (pos_ >= input_.size()) return std::nullopt;
+    ++pos_;  // 'e'
+    return BValue{std::move(list)};
+  }
+
+  std::optional<BValue> decode_dict(int depth) {
+    ++pos_;  // 'd'
+    BDict dict;
+    while (pos_ < input_.size() && input_[pos_] != 'e') {
+      auto key = decode_string();
+      if (!key) return std::nullopt;
+      auto value = decode_value(depth + 1);
+      if (!value) return std::nullopt;
+      dict.emplace(key->as_string(), std::move(*value));
+    }
+    if (pos_ >= input_.size()) return std::nullopt;
+    ++pos_;  // 'e'
+    return BValue{std::move(dict)};
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string bencode(const BValue& value) {
+  std::string out;
+  encode_into(value, out);
+  return out;
+}
+
+std::optional<BValue> bdecode(std::string_view input) {
+  return Decoder(input).decode_all();
+}
+
+}  // namespace p2plab::bt

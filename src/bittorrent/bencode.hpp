@@ -1,0 +1,63 @@
+// Bencoding (the BitTorrent metainfo/tracker wire format).
+//
+// Full encoder/decoder for the four bencode types. Used to build the
+// metainfo "info" dictionary whose SHA-1 is the infohash, exactly like the
+// real protocol; the decoder exists so tests can round-trip and so the
+// format behaves as a first-class substrate rather than a stub.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace p2plab::bt {
+
+class BValue;
+using BList = std::vector<BValue>;
+/// std::map: bencode requires dictionary keys in sorted order.
+using BDict = std::map<std::string, BValue>;
+
+class BValue {
+ public:
+  BValue() : value_(std::int64_t{0}) {}
+  BValue(std::int64_t v) : value_(v) {}           // NOLINT(runtime/explicit)
+  BValue(int v) : value_(std::int64_t{v}) {}      // NOLINT(runtime/explicit)
+  BValue(std::string v) : value_(std::move(v)) {} // NOLINT(runtime/explicit)
+  BValue(const char* v) : value_(std::string(v)) {}  // NOLINT
+  BValue(BList v) : value_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  BValue(BDict v) : value_(std::move(v)) {}       // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_list() const { return std::holds_alternative<BList>(value_); }
+  bool is_dict() const { return std::holds_alternative<BDict>(value_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const BList& as_list() const { return std::get<BList>(value_); }
+  const BDict& as_dict() const { return std::get<BDict>(value_); }
+  BDict& as_dict() { return std::get<BDict>(value_); }
+
+  /// Dictionary lookup; nullptr when absent or not a dict.
+  const BValue* find(const std::string& key) const;
+
+  bool operator==(const BValue& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::int64_t, std::string, BList, BDict> value_;
+};
+
+/// Canonical bencoding of a value.
+std::string bencode(const BValue& value);
+
+/// Strict decode: the whole input must be one well-formed value.
+/// Returns nullopt on any malformation (truncation, bad lengths, trailing
+/// garbage, unsorted keys are accepted on input but re-sorted).
+std::optional<BValue> bdecode(std::string_view input);
+
+}  // namespace p2plab::bt

@@ -1,0 +1,72 @@
+// Piece bitfields (the BITFIELD/HAVE bookkeeping unit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace p2plab::bt {
+
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(std::uint32_t size) : size_(size), words_((size + 63) / 64) {}
+
+  std::uint32_t size() const { return size_; }
+  std::uint32_t count() const { return count_; }
+  bool all() const { return count_ == size_; }
+  bool none() const { return count_ == 0; }
+
+  bool get(std::uint32_t i) const {
+    P2PLAB_ASSERT(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::uint32_t i) {
+    P2PLAB_ASSERT(i < size_);
+    std::uint64_t& word = words_[i / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++count_;
+    }
+  }
+
+  void clear(std::uint32_t i) {
+    P2PLAB_ASSERT(i < size_);
+    std::uint64_t& word = words_[i / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if ((word & mask) != 0) {
+      word &= ~mask;
+      --count_;
+    }
+  }
+
+  void set_all() {
+    for (std::uint32_t i = 0; i < size_; ++i) set(i);
+  }
+
+  /// True if `other` has any piece this bitfield lacks.
+  bool other_has_missing(const Bitfield& other) const {
+    P2PLAB_ASSERT(other.size_ == size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if ((other.words_[w] & ~words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Wire size of a BITFIELD message payload (one bit per piece).
+  std::uint32_t wire_bytes() const { return (size_ + 7) / 8; }
+
+  bool operator==(const Bitfield& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  std::uint32_t size_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace p2plab::bt

@@ -1,0 +1,580 @@
+#include "bittorrent/client.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace p2plab::bt {
+
+namespace {
+constexpr std::uint32_t key_of(Ipv4Addr ip) { return ip.to_u32(); }
+}  // namespace
+
+Client::Client(sim::Simulation& sim, sockets::SocketApi& api,
+               const MetaInfo& meta, PeerInfo tracker, ClientConfig config,
+               bool start_as_seed, Rng rng)
+    : sim_(&sim),
+      api_(&api),
+      meta_(&meta),
+      tracker_(tracker),
+      config_(config),
+      rng_(rng),
+      store_(meta, config.verify_hashes),
+      picker_(meta, store_, rng.fork(1)),
+      choker_(config.choker),
+      was_seed_at_start_(start_as_seed),
+      progress_("progress"),
+      down_series_("bytes_down") {
+  if (start_as_seed) store_.fill_complete();
+}
+
+Client::~Client() {
+  if (started_) stop();
+}
+
+void Client::start() {
+  P2PLAB_ASSERT(!started_);
+  started_ = true;
+  listener_ = api_->listen(
+      config_.listen_port, [this](sockets::StreamSocketPtr sock) {
+        if (static_cast<int>(peers_.size()) >= config_.max_connections) {
+          ++stats_.accepts_rejected;
+          sock->close();
+          return;
+        }
+        add_peer(std::move(sock), /*initiated=*/false);
+      });
+  announce(AnnounceEvent::kStarted);
+  // Desynchronize choker ticks across clients (the real platform's clients
+  // start at different wall-clock instants).
+  const Duration first_tick = Duration::ns(static_cast<std::int64_t>(
+      rng_.uniform(static_cast<std::uint64_t>(
+          config_.rechoke_interval.count_ns()))));
+  rechoke_task_.start(*sim_, config_.rechoke_interval, first_tick,
+                      [this] { rechoke(); });
+  announce_task_.start(*sim_, Duration::sec(1800), Duration::sec(1800),
+                       [this] { announce(AnnounceEvent::kPeriodic); });
+}
+
+void Client::stop() {
+  if (!started_) return;
+  started_ = false;
+  rechoke_task_.stop();
+  announce_task_.stop();
+  sim_->cancel(refill_event_);
+  refill_event_ = sim::EventId{};
+  announce(AnnounceEvent::kStopped);
+  while (!peers_.empty()) {
+    remove_peer(peers_.begin()->first, /*close_socket=*/true);
+  }
+  if (listener_) listener_->stop_accepting();
+  listener_.reset();
+}
+
+std::vector<Client::PeerDebug> Client::debug_peers() {
+  std::vector<PeerDebug> out;
+  for (const auto& [key, peer] : peers_) {
+    out.push_back(PeerDebug{
+        .ip = peer->ip,
+        .am_choking = peer->am_choking,
+        .am_interested = peer->am_interested,
+        .peer_choking = peer->peer_choking,
+        .peer_interested = peer->peer_interested,
+        .inflight = peer->inflight.size(),
+        .upload_queue = peer->upload_queue.size(),
+        .sock_unsent = peer->sock->unsent_bytes(),
+        .down_rate_bps = peer->down_rate.rate_bps(sim_->now()),
+        .up_rate_bps = peer->up_rate.rate_bps(sim_->now())});
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ connections
+
+void Client::announce(AnnounceEvent event) {
+  ++stats_.announces;
+  api_->connect(
+      tracker_.ip, tracker_.port,
+      [this, event](sockets::StreamSocketPtr sock) {
+        sock->on_message([this, sock](sockets::Message&& msg) {
+          if (msg.type !=
+              static_cast<std::uint32_t>(MsgType::kTrackerResponse)) {
+            return;
+          }
+          handle_tracker_response(msg.as<TrackerResponseMsg>().response);
+          sock->close();
+        });
+        AnnounceRequest request;
+        request.info_hash = meta_->info_hash;
+        request.peer = PeerInfo{ip(), config_.listen_port};
+        request.event = event;
+        request.numwant = config_.numwant;
+        request.left =
+            meta_->total_size.count_bytes() -
+            store_.bytes_downloaded().count_bytes();
+        sockets::Message msg;
+        msg.type = static_cast<std::uint32_t>(MsgType::kTrackerAnnounce);
+        msg.size = announce_request_wire_size();
+        msg.body = std::make_shared<const TrackerAnnounceMsg>(
+            TrackerAnnounceMsg{request});
+        sock->send(std::move(msg));
+      },
+      [] { /* tracker unreachable; the periodic announce retries */ });
+}
+
+void Client::handle_tracker_response(const AnnounceResponse& response) {
+  if (!started_) return;
+  for (const PeerInfo& info : response.peers) {
+    if (info.ip == ip()) continue;
+    const bool known =
+        std::any_of(known_peers_.begin(), known_peers_.end(),
+                    [&](const PeerInfo& p) { return p.ip == info.ip; });
+    if (!known) known_peers_.push_back(info);
+  }
+  connect_more();
+}
+
+void Client::connect_more() {
+  for (const PeerInfo& info : known_peers_) {
+    // initiated_connections_ counts dials in progress plus established
+    // outgoing connections; max_connections bounds the total.
+    if (initiated_connections_ >= config_.max_initiate) break;
+    if (peers_.size() + dialing_.size() >=
+        static_cast<std::size_t>(config_.max_connections)) {
+      break;
+    }
+    const std::uint32_t key = key_of(info.ip);
+    if (peers_.count(key) != 0 || dialing_.count(key) != 0) continue;
+    dialing_.insert(key);
+    ++initiated_connections_;
+    api_->connect(
+        info.ip, info.port,
+        [this, key](sockets::StreamSocketPtr sock) {
+          dialing_.erase(key);
+          if (!started_) {
+            --initiated_connections_;
+            sock->close();
+            return;
+          }
+          add_peer(std::move(sock), /*initiated=*/true);
+        },
+        [this, key] {
+          dialing_.erase(key);
+          --initiated_connections_;
+        });
+  }
+}
+
+Client::Peer* Client::add_peer(sockets::StreamSocketPtr sock, bool initiated) {
+  const std::uint32_t key = key_of(sock->remote_ip());
+
+  if (Peer* existing = find_peer(key)) {
+    // Simultaneous open: both sides dialed. Deterministic tie-break — keep
+    // the connection initiated by the lower-IP side, on both ends.
+    const bool keep_mine_dialed = ip() < sock->remote_ip();
+    const bool existing_is_mine = existing->initiated;
+    const bool new_is_mine = initiated;
+    const bool keep_new = (new_is_mine == keep_mine_dialed) &&
+                          (existing_is_mine != keep_mine_dialed);
+    if (!keep_new) {
+      ++stats_.removals_collision;
+      if (initiated) --initiated_connections_;
+      sock->on_message(nullptr);
+      sock->on_close(nullptr);
+      sock->close();
+      return existing;
+    }
+    ++stats_.removals_collision;
+    // No refill here: the winning connection is inserted right below, and
+    // a synchronous connect_more() would re-dial this very peer while the
+    // map entry is momentarily absent (dial/collide/re-dial livelock).
+    remove_peer(key, /*close_socket=*/true, /*refill=*/false);
+  }
+
+  auto peer = std::make_unique<Peer>();
+  Peer* raw = peer.get();
+  peer->sock = std::move(sock);
+  peer->ip = peer->sock->remote_ip();
+  peer->initiated = initiated;
+  peer->have = Bitfield(meta_->piece_count());
+  peer->last_block_at = sim_->now();
+  peers_.emplace(key, std::move(peer));
+
+  sockets::StreamSocket* sock_id = raw->sock.get();
+  raw->sock->on_message([this, key, sock_id](sockets::Message&& msg) {
+    Peer* p = find_peer(key);
+    if (p == nullptr || p->sock.get() != sock_id) return;  // superseded
+    if (msg.type >= static_cast<std::uint32_t>(MsgType::kTrackerAnnounce)) {
+      return;  // not a peer-wire message
+    }
+    on_wire(key, msg.as<WireMsg>());
+  });
+  raw->sock->on_close([this, key, sock_id] {
+    Peer* p = find_peer(key);
+    if (p == nullptr || p->sock.get() != sock_id) return;
+    ++stats_.removals_close;
+    remove_peer(key, /*close_socket=*/false);
+  });
+  raw->sock->on_writable(config_.upload_watermark, [this, key, sock_id] {
+    Peer* p = find_peer(key);
+    if (p == nullptr || p->sock.get() != sock_id) return;
+    pump_uploads(*p);
+  });
+
+  // Both sides open with handshake (+ bitfield when non-empty).
+  WireMsg handshake;
+  handshake.type = MsgType::kHandshake;
+  handshake.info_hash = meta_->info_hash;
+  handshake.peer_id = key_of(ip());
+  send_msg(*raw, std::move(handshake));
+  raw->handshake_sent = true;
+  if (store_.have().count() > 0) {
+    WireMsg bitfield;
+    bitfield.type = MsgType::kBitfield;
+    bitfield.bitfield = store_.have();
+    send_msg(*raw, std::move(bitfield));
+  }
+  return raw;
+}
+
+void Client::remove_peer(std::uint32_t key, bool close_socket, bool refill) {
+  const auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  Peer& peer = *it->second;
+  // Release picker state for anything we were waiting on from this peer.
+  for (const Peer::Outstanding& out : peer.inflight) {
+    picker_.on_request_discarded(out.ref);
+  }
+  if (peer.handshake_rx) picker_.peer_lost(peer.have);
+  if (peer.initiated) --initiated_connections_;
+  peer.sock->on_message(nullptr);
+  peer.sock->on_close(nullptr);
+  if (close_socket) peer.sock->close();
+  peers_.erase(it);
+  if (refill && started_ && !refill_event_.valid()) {
+    refill_event_ = sim_->schedule_after(Duration::sec(2), [this] {
+      refill_event_ = sim::EventId{};
+      if (started_) connect_more();
+    });
+  }
+}
+
+Client::Peer* Client::find_peer(std::uint32_t key) {
+  const auto it = peers_.find(key);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+// ----------------------------------------------------------------- wiring
+
+void Client::send_msg(Peer& peer, WireMsg msg) {
+  const auto type_index = static_cast<std::size_t>(msg.type);
+  if (type_index < 16) ++stats_.msgs_sent[type_index];
+  if (msg.type == MsgType::kPiece) {
+    stats_.bytes_up += msg.length;
+    peer.up_rate.add(sim_->now(), msg.length);
+  }
+  peer.sock->send(to_socket_message(std::move(msg)));
+}
+
+void Client::on_wire(std::uint32_t key, const WireMsg& msg) {
+  Peer* peer = find_peer(key);
+  if (peer == nullptr) return;
+  if (!peer->handshake_rx) {
+    if (msg.type != MsgType::kHandshake) {
+      ++stats_.removals_protocol;
+      remove_peer(key, /*close_socket=*/true);  // protocol violation
+      return;
+    }
+    on_handshake(*peer, msg);
+    return;
+  }
+  switch (msg.type) {
+    case MsgType::kHandshake:
+      break;  // duplicate; ignore
+    case MsgType::kChoke: {
+      peer->peer_choking = true;
+      // Outstanding requests are void once choked.
+      for (const Peer::Outstanding& out : peer->inflight) {
+        picker_.on_request_discarded(out.ref);
+      }
+      peer->inflight.clear();
+      break;
+    }
+    case MsgType::kUnchoke:
+      peer->peer_choking = false;
+      try_request(*peer);
+      break;
+    case MsgType::kInterested:
+      peer->peer_interested = true;
+      break;
+    case MsgType::kNotInterested:
+      peer->peer_interested = false;
+      break;
+    case MsgType::kHave:
+      if (msg.piece < meta_->piece_count() && !peer->have.get(msg.piece)) {
+        peer->have.set(msg.piece);
+        picker_.peer_has(msg.piece);
+        update_interest(*peer);
+        if (!peer->peer_choking) try_request(*peer);
+      }
+      break;
+    case MsgType::kBitfield:
+      if (msg.bitfield.size() == meta_->piece_count() &&
+          peer->have.count() == 0) {
+        peer->have = msg.bitfield;
+        picker_.peer_has_bitfield(peer->have);
+        update_interest(*peer);
+        if (!peer->peer_choking) try_request(*peer);
+      }
+      break;
+    case MsgType::kRequest: {
+      if (peer->am_choking) break;  // requests while choked are dropped
+      if (msg.piece >= meta_->piece_count() ||
+          !store_.have_piece(msg.piece)) {
+        break;
+      }
+      peer->upload_queue.push_back(msg);
+      pump_uploads(*peer);
+      break;
+    }
+    case MsgType::kPiece:
+      on_piece_msg(*peer, msg);
+      break;
+    case MsgType::kCancel: {
+      // Retract the request if it has not been served yet (endgame).
+      auto& queue = peer->upload_queue;
+      const auto it = std::find_if(
+          queue.begin(), queue.end(), [&](const WireMsg& queued) {
+            return queued.piece == msg.piece && queued.begin == msg.begin;
+          });
+      if (it != queue.end()) queue.erase(it);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Client::on_handshake(Peer& peer, const WireMsg& msg) {
+  if (msg.info_hash != meta_->info_hash) {
+    ++stats_.removals_badhash;
+    remove_peer(key_of(peer.ip), /*close_socket=*/true);
+    return;
+  }
+  peer.handshake_rx = true;
+  // An empty bitfield is implicit; availability starts at zero and HAVEs
+  // update it. (peer.have was registered as all-zero at add time.)
+}
+
+void Client::on_piece_msg(Peer& peer, const WireMsg& msg) {
+  if (msg.piece >= meta_->piece_count()) return;
+  const std::uint32_t block = msg.begin / kBlockLength;
+  if (block >= meta_->blocks_in_piece(msg.piece)) return;
+  const BlockRef ref{msg.piece, block};
+
+  const auto inflight_it = std::find_if(
+      peer.inflight.begin(), peer.inflight.end(),
+      [&](const Peer::Outstanding& out) { return out.ref == ref; });
+  if (inflight_it != peer.inflight.end()) peer.inflight.erase(inflight_it);
+
+  peer.last_block_at = sim_->now();
+  peer.down_rate.add(sim_->now(), msg.length);
+  stats_.bytes_down += msg.length;
+
+  picker_.on_block_received(ref);
+  const auto result = store_.add_block(msg.piece, block, msg.intact);
+  switch (result) {
+    case PieceStore::BlockResult::kDuplicate:
+      ++stats_.duplicate_blocks;
+      break;
+    case PieceStore::BlockResult::kAccepted:
+      cancel_duplicates(ref, key_of(peer.ip));
+      break;
+    case PieceStore::BlockResult::kPieceComplete: {
+      cancel_duplicates(ref, key_of(peer.ip));
+      progress_.add(sim_->now(), 100.0 * store_.fraction_complete());
+      down_series_.add(
+          sim_->now(),
+          static_cast<double>(store_.bytes_downloaded().count_bytes()));
+      broadcast_have(msg.piece);
+      for (auto& [k, p] : peers_) update_interest(*p);
+      if (store_.complete()) on_torrent_complete();
+      break;
+    }
+    case PieceStore::BlockResult::kPieceRejected:
+      P2PLAB_LOG_WARN("client %s: piece %u failed verification",
+                      ip().to_string().c_str(), msg.piece);
+      break;
+  }
+  try_request(peer);
+}
+
+void Client::update_interest(Peer& peer) {
+  const bool want = !store_.complete() &&
+                    store_.have().other_has_missing(peer.have);
+  if (want == peer.am_interested) return;
+  peer.am_interested = want;
+  WireMsg msg;
+  msg.type = want ? MsgType::kInterested : MsgType::kNotInterested;
+  send_msg(peer, std::move(msg));
+}
+
+int Client::backlog_for(Peer& peer) {
+  const double rate = peer.down_rate.rate_bps(sim_->now());
+  const int dynamic = 2 + static_cast<int>(rate / kBlockLength);
+  return std::clamp(dynamic, 4, config_.max_backlog);
+}
+
+void Client::try_request(Peer& peer) {
+  if (store_.complete() || peer.peer_choking || !peer.am_interested) return;
+  const int backlog = backlog_for(peer);
+
+  while (static_cast<int>(peer.inflight.size()) < backlog) {
+    std::optional<BlockRef> ref = picker_.pick(peer.have);
+    if (!ref && config_.endgame && picker_.all_missing_requested()) {
+      // Endgame: re-request missing blocks from this peer too.
+      for (const BlockRef& candidate : picker_.missing_blocks(peer.have)) {
+        if (picker_.request_count(candidate) >=
+            static_cast<std::uint32_t>(config_.endgame_max_duplication)) {
+          continue;
+        }
+        const bool already = std::any_of(
+            peer.inflight.begin(), peer.inflight.end(),
+            [&](const Peer::Outstanding& out) {
+              return out.ref == candidate;
+            });
+        if (!already) {
+          ref = candidate;
+          break;
+        }
+      }
+    }
+    if (!ref) return;
+    picker_.on_requested(*ref);
+    peer.inflight.push_back(Peer::Outstanding{*ref, sim_->now()});
+    WireMsg request;
+    request.type = MsgType::kRequest;
+    request.piece = ref->piece;
+    request.begin = ref->block * kBlockLength;
+    request.length = meta_->block_size(ref->piece, ref->block);
+    send_msg(peer, std::move(request));
+  }
+}
+
+void Client::pump_uploads(Peer& peer) {
+  // Serve queued requests only while the socket's send buffer is shallow:
+  // blocks not yet handed to the transport can still be retracted by a
+  // CHOKE or CANCEL, exactly like the real client's upload queue.
+  while (!peer.upload_queue.empty() &&
+         peer.sock->unsent_bytes() <=
+             config_.upload_watermark.count_bytes()) {
+    const WireMsg request = peer.upload_queue.front();
+    peer.upload_queue.pop_front();
+    WireMsg piece;
+    piece.type = MsgType::kPiece;
+    piece.piece = request.piece;
+    piece.begin = request.begin;
+    piece.length = request.length;
+    send_msg(peer, std::move(piece));
+  }
+}
+
+void Client::broadcast_have(std::uint32_t piece) {
+  for (auto& [key, peer] : peers_) {
+    if (!peer->handshake_rx) continue;
+    WireMsg have;
+    have.type = MsgType::kHave;
+    have.piece = piece;
+    send_msg(*peer, std::move(have));
+  }
+}
+
+void Client::cancel_duplicates(BlockRef ref, std::uint32_t except_key) {
+  for (auto& [key, peer] : peers_) {
+    if (key == except_key) continue;
+    const auto it = std::find_if(
+        peer->inflight.begin(), peer->inflight.end(),
+        [&](const Peer::Outstanding& out) { return out.ref == ref; });
+    if (it == peer->inflight.end()) continue;
+    peer->inflight.erase(it);
+    WireMsg cancel;
+    cancel.type = MsgType::kCancel;
+    cancel.piece = ref.piece;
+    cancel.begin = ref.block * kBlockLength;
+    cancel.length = meta_->block_size(ref.piece, ref.block);
+    send_msg(*peer, std::move(cancel));
+  }
+}
+
+void Client::on_torrent_complete() {
+  if (!was_seed_at_start_ && !completed_at_) {
+    completed_at_ = sim_->now();
+    announce(AnnounceEvent::kCompleted);
+    P2PLAB_LOG_INFO("client %s completed at %s", ip().to_string().c_str(),
+                    sim_->now().to_string().c_str());
+  }
+}
+
+// ---------------------------------------------------------------- choking
+
+bool Client::is_snubbed(Peer& peer) const {
+  if (peer.inflight.empty()) return false;
+  const SimTime oldest = peer.inflight.front().requested_at;
+  const SimTime now = sim_->now();
+  return now - oldest > config_.snub_timeout &&
+         now - peer.last_block_at > config_.snub_timeout;
+}
+
+void Client::release_stalled_requests(Peer& peer) {
+  const SimTime now = sim_->now();
+  auto it = peer.inflight.begin();
+  while (it != peer.inflight.end()) {
+    if (now - it->requested_at > config_.snub_timeout) {
+      picker_.on_request_discarded(it->ref);
+      it = peer.inflight.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Client::rechoke() {
+  std::vector<PeerSnapshot> snapshot;
+  snapshot.reserve(peers_.size());
+  const bool seeding = store_.complete();
+  for (auto& [key, peer] : peers_) {
+    if (!peer->handshake_rx) continue;
+    const bool snubbed = is_snubbed(*peer);
+    if (snubbed) release_stalled_requests(*peer);
+    snapshot.push_back(PeerSnapshot{
+        .key = key,
+        .interested = peer->peer_interested,
+        .snubbed = snubbed,
+        .rate_bps = seeding ? peer->up_rate.rate_bps(sim_->now())
+                            : peer->down_rate.rate_bps(sim_->now())});
+  }
+  const std::vector<PeerKey> unchoked =
+      choker_.rechoke(sim_->now(), snapshot, rng_);
+
+  for (auto& [key, peer] : peers_) {
+    if (!peer->handshake_rx) continue;
+    const bool should_unchoke =
+        std::find(unchoked.begin(), unchoked.end(), key) != unchoked.end();
+    if (should_unchoke && peer->am_choking) {
+      ++stats_.choke_transitions;
+      peer->am_choking = false;
+      WireMsg msg;
+      msg.type = MsgType::kUnchoke;
+      send_msg(*peer, std::move(msg));
+    } else if (!should_unchoke && !peer->am_choking) {
+      peer->am_choking = true;
+      peer->upload_queue.clear();  // unserved requests die with the choke
+      WireMsg msg;
+      msg.type = MsgType::kChoke;
+      send_msg(*peer, std::move(msg));
+    }
+  }
+}
+
+}  // namespace p2plab::bt

@@ -1,0 +1,58 @@
+// Torrent metainfo (.torrent content).
+//
+// BitTorrent divides the file into pieces (256 KiB in the client the paper
+// uses: "the file is always divided in pieces of 256 KB") and stores one
+// SHA-1 per piece in the metainfo's "info" dictionary; the SHA-1 of the
+// bencoded info dictionary is the torrent's infohash.
+//
+// Content is synthetic: block payloads are a deterministic pseudorandom
+// function of (content seed, offset), so every node can regenerate — and
+// therefore verify — any piece without 16 MiB buffers being copied through
+// the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "bittorrent/sha1.hpp"
+
+namespace p2plab::bt {
+
+inline constexpr std::uint32_t kBlockLength = 16 * 1024;  // request granularity
+
+struct MetaInfo {
+  std::string name;
+  DataSize total_size;
+  DataSize piece_length = DataSize::kib(256);
+  std::uint64_t content_seed = 0;
+  /// Per-piece SHA-1 over the synthetic content; empty if hashing was
+  /// skipped (scalability runs — see DESIGN.md §6).
+  std::vector<Sha1Digest> piece_hashes;
+  Sha1Digest info_hash{};
+
+  std::uint32_t piece_count() const {
+    const std::uint64_t pl = piece_length.count_bytes();
+    return static_cast<std::uint32_t>(
+        (total_size.count_bytes() + pl - 1) / pl);
+  }
+  /// Byte size of piece `index` (the last piece may be short).
+  std::uint32_t piece_size(std::uint32_t index) const;
+  /// Blocks in piece `index` (16 KiB granularity, last may be short).
+  std::uint32_t blocks_in_piece(std::uint32_t index) const;
+  std::uint32_t block_size(std::uint32_t piece, std::uint32_t block) const;
+
+  /// Regenerate the synthetic content of one piece.
+  std::vector<std::uint8_t> generate_piece(std::uint32_t index) const;
+
+  /// Build a torrent for a synthetic file. When `hash_pieces` is set the
+  /// per-piece SHA-1s are computed (CPU-proportional to the file size);
+  /// the infohash is always computed from the bencoded info dict.
+  static MetaInfo make_synthetic(std::string name, DataSize total_size,
+                                 std::uint64_t content_seed,
+                                 bool hash_pieces,
+                                 DataSize piece_length = DataSize::kib(256));
+};
+
+}  // namespace p2plab::bt

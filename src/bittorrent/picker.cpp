@@ -1,0 +1,148 @@
+#include "bittorrent/picker.hpp"
+
+#include "common/assert.hpp"
+
+namespace p2plab::bt {
+
+PiecePicker::PiecePicker(const MetaInfo& meta, const PieceStore& store,
+                         Rng rng)
+    : meta_(&meta), store_(&store), rng_(rng) {
+  availability_.assign(meta.piece_count(), 0);
+  outstanding_per_piece_.assign(meta.piece_count(), 0);
+  request_counts_.resize(meta.piece_count());
+  for (std::uint32_t p = 0; p < meta.piece_count(); ++p) {
+    request_counts_[p].assign(meta.blocks_in_piece(p), 0);
+  }
+}
+
+void PiecePicker::peer_has(std::uint32_t piece) {
+  P2PLAB_ASSERT(piece < availability_.size());
+  ++availability_[piece];
+}
+
+void PiecePicker::peer_has_bitfield(const Bitfield& have) {
+  P2PLAB_ASSERT(have.size() == availability_.size());
+  for (std::uint32_t p = 0; p < have.size(); ++p) {
+    if (have.get(p)) ++availability_[p];
+  }
+}
+
+void PiecePicker::peer_lost(const Bitfield& have) {
+  P2PLAB_ASSERT(have.size() == availability_.size());
+  for (std::uint32_t p = 0; p < have.size(); ++p) {
+    if (have.get(p)) {
+      P2PLAB_ASSERT(availability_[p] > 0);
+      --availability_[p];
+    }
+  }
+}
+
+void PiecePicker::on_requested(BlockRef ref) {
+  if (request_counts_[ref.piece][ref.block]++ == 0) {
+    ++outstanding_per_piece_[ref.piece];
+  }
+}
+
+void PiecePicker::on_request_discarded(BlockRef ref) {
+  std::uint8_t& count = request_counts_[ref.piece][ref.block];
+  if (count == 0) return;  // already released (e.g. block arrived meanwhile)
+  if (--count == 0) {
+    P2PLAB_ASSERT(outstanding_per_piece_[ref.piece] > 0);
+    --outstanding_per_piece_[ref.piece];
+  }
+}
+
+void PiecePicker::on_block_received(BlockRef ref) {
+  std::uint8_t& count = request_counts_[ref.piece][ref.block];
+  if (count > 0) {
+    count = 0;
+    P2PLAB_ASSERT(outstanding_per_piece_[ref.piece] > 0);
+    --outstanding_per_piece_[ref.piece];
+  }
+}
+
+bool PiecePicker::piece_pickable(std::uint32_t piece,
+                                 const Bitfield& peer_have) const {
+  return peer_have.get(piece) && !store_->have_piece(piece) &&
+         first_unrequested_block(piece).has_value();
+}
+
+std::optional<std::uint32_t> PiecePicker::first_unrequested_block(
+    std::uint32_t piece) const {
+  for (std::uint32_t b = 0; b < request_counts_[piece].size(); ++b) {
+    if (request_counts_[piece][b] == 0 && !store_->have_block(piece, b)) {
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockRef> PiecePicker::pick(const Bitfield& peer_have) {
+  const std::uint32_t n = meta_->piece_count();
+
+  // Strict priority: a piece with progress (received or requested blocks)
+  // is finished before any new piece is started.
+  std::optional<std::uint32_t> best_partial;
+  std::uint32_t best_partial_avail = 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (store_->have_piece(p)) continue;
+    const bool active =
+        store_->blocks_received(p) > 0 || outstanding_per_piece_[p] > 0;
+    if (!active || !piece_pickable(p, peer_have)) continue;
+    if (!best_partial || availability_[p] < best_partial_avail ||
+        (availability_[p] == best_partial_avail && rng_.chance(0.5))) {
+      best_partial = p;
+      best_partial_avail = availability_[p];
+    }
+  }
+  if (best_partial) {
+    return BlockRef{*best_partial, *first_unrequested_block(*best_partial)};
+  }
+
+  // Fresh pieces: random until we own a first complete piece, rarest after.
+  std::vector<std::uint32_t> candidates;
+  std::uint32_t min_avail = ~std::uint32_t{0};
+  const bool random_first = store_->have().count() == 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (!piece_pickable(p, peer_have)) continue;
+    if (random_first) {
+      candidates.push_back(p);
+      continue;
+    }
+    if (availability_[p] < min_avail) {
+      min_avail = availability_[p];
+      candidates.clear();
+    }
+    if (availability_[p] == min_avail) candidates.push_back(p);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const std::uint32_t piece =
+      candidates[rng_.uniform(candidates.size())];
+  return BlockRef{piece, *first_unrequested_block(piece)};
+}
+
+std::vector<BlockRef> PiecePicker::missing_blocks(
+    const Bitfield& peer_have) const {
+  std::vector<BlockRef> missing;
+  for (std::uint32_t p = 0; p < meta_->piece_count(); ++p) {
+    if (store_->have_piece(p) || !peer_have.get(p)) continue;
+    for (std::uint32_t b = 0; b < request_counts_[p].size(); ++b) {
+      if (!store_->have_block(p, b)) missing.push_back(BlockRef{p, b});
+    }
+  }
+  return missing;
+}
+
+bool PiecePicker::all_missing_requested() const {
+  for (std::uint32_t p = 0; p < meta_->piece_count(); ++p) {
+    if (store_->have_piece(p)) continue;
+    for (std::uint32_t b = 0; b < request_counts_[p].size(); ++b) {
+      if (request_counts_[p][b] == 0 && !store_->have_block(p, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace p2plab::bt

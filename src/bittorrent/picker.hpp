@@ -1,0 +1,82 @@
+// Piece selection: random-first-piece, strict priority, rarest-first,
+// endgame — the BitTorrent 4.x policy set.
+//
+//  - Until the first piece completes, pieces are picked at random (getting
+//    *some* complete piece fast matters more than rarity).
+//  - Partially downloaded/requested pieces have strict priority (finish
+//    what is started so it can be shared).
+//  - Otherwise pick among the rarest pieces (minimum availability over the
+//    connected peers), breaking ties randomly.
+//  - Endgame: once every missing block is requested somewhere, remaining
+//    blocks may be requested from multiple peers at once (the client sends
+//    CANCELs when a duplicate arrives).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "bittorrent/bitfield.hpp"
+#include "bittorrent/metainfo.hpp"
+#include "bittorrent/piece_store.hpp"
+
+namespace p2plab::bt {
+
+struct BlockRef {
+  std::uint32_t piece = 0;
+  std::uint32_t block = 0;
+  bool operator==(const BlockRef&) const = default;
+};
+
+class PiecePicker {
+ public:
+  PiecePicker(const MetaInfo& meta, const PieceStore& store, Rng rng);
+
+  // -- availability bookkeeping (from HAVE/BITFIELD/peer departure) --------
+  void peer_has(std::uint32_t piece);
+  void peer_has_bitfield(const Bitfield& have);
+  void peer_lost(const Bitfield& have);
+  std::uint32_t availability(std::uint32_t piece) const {
+    return availability_[piece];
+  }
+
+  // -- request bookkeeping --------------------------------------------------
+  void on_requested(BlockRef ref);
+  /// A request was discarded without a block arriving (choke, peer loss,
+  /// snub release): the block becomes pickable again.
+  void on_request_discarded(BlockRef ref);
+  void on_block_received(BlockRef ref);
+
+  /// Pick the next block to request from a peer advertising `peer_have`.
+  /// Returns nullopt when every block this peer could give us is already
+  /// held or requested — the endgame trigger.
+  std::optional<BlockRef> pick(const Bitfield& peer_have);
+
+  /// Endgame: missing blocks (not yet received) the peer has, regardless of
+  /// outstanding requests elsewhere. The caller filters blocks it already
+  /// requested from this same peer.
+  std::vector<BlockRef> missing_blocks(const Bitfield& peer_have) const;
+
+  /// True once no unrequested missing block remains anywhere.
+  bool all_missing_requested() const;
+
+  /// Outstanding request count for one block (endgame duplication cap).
+  std::uint32_t request_count(BlockRef ref) const {
+    return request_counts_[ref.piece][ref.block];
+  }
+
+ private:
+  bool piece_pickable(std::uint32_t piece, const Bitfield& peer_have) const;
+  std::optional<std::uint32_t> first_unrequested_block(
+      std::uint32_t piece) const;
+
+  const MetaInfo* meta_;
+  const PieceStore* store_;
+  Rng rng_;
+  std::vector<std::uint32_t> availability_;
+  std::vector<std::vector<std::uint8_t>> request_counts_;  // [piece][block]
+  std::vector<std::uint32_t> outstanding_per_piece_;
+};
+
+}  // namespace p2plab::bt

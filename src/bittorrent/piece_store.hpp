@@ -1,0 +1,61 @@
+// Per-client piece/block storage state.
+//
+// Tracks which blocks of which pieces have arrived, runs SHA-1
+// verification when a piece completes (against the synthetic content
+// model), and rejects corrupted pieces wholesale — the real client's
+// behaviour on hash failure is to drop and re-download the entire piece.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bittorrent/bitfield.hpp"
+#include "bittorrent/metainfo.hpp"
+
+namespace p2plab::bt {
+
+class PieceStore {
+ public:
+  /// `verify_hashes` requires meta.piece_hashes to be populated.
+  PieceStore(const MetaInfo& meta, bool verify_hashes);
+
+  /// Mark every piece present (seeders).
+  void fill_complete();
+
+  const Bitfield& have() const { return have_; }
+  bool complete() const { return have_.all(); }
+  std::uint32_t piece_count() const { return meta_->piece_count(); }
+  DataSize bytes_downloaded() const { return DataSize::bytes(bytes_down_); }
+  double fraction_complete() const;
+
+  bool have_piece(std::uint32_t piece) const { return have_.get(piece); }
+  bool have_block(std::uint32_t piece, std::uint32_t block) const;
+  std::uint32_t blocks_received(std::uint32_t piece) const;
+
+  enum class BlockResult {
+    kDuplicate,       // already had it
+    kAccepted,        // stored, piece still incomplete
+    kPieceComplete,   // stored and the piece verified
+    kPieceRejected,   // stored but verification failed: piece was reset
+  };
+
+  /// Record an arriving block. `payload_intact` is the integrity flag the
+  /// wire carries (false models on-the-wire corruption).
+  BlockResult add_block(std::uint32_t piece, std::uint32_t block,
+                        bool payload_intact);
+
+  std::uint64_t hash_failures() const { return hash_failures_; }
+
+ private:
+  bool verify_piece(std::uint32_t piece) const;
+
+  const MetaInfo* meta_;
+  bool verify_hashes_;
+  Bitfield have_;
+  std::vector<Bitfield> blocks_;       // per piece
+  std::vector<bool> piece_tainted_;    // any corrupted block present
+  std::uint64_t bytes_down_ = 0;
+  std::uint64_t hash_failures_ = 0;
+};
+
+}  // namespace p2plab::bt

@@ -1,0 +1,68 @@
+// Rolling-window transfer-rate estimator.
+//
+// BitTorrent's choker ranks peers by their recent transfer rate over a
+// ~20 s window. The estimator buckets bytes into one-second slots of a
+// ring and needs no timers: buckets rotate lazily on access.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace p2plab::bt {
+
+class RateEstimator {
+ public:
+  explicit RateEstimator(Duration window = Duration::sec(20))
+      : bucket_span_(Duration::ns(
+            window.count_ns() /
+            static_cast<std::int64_t>(kBucketCount))) {}
+
+  void add(SimTime now, std::uint64_t bytes) {
+    rotate_to(now);
+    buckets_[static_cast<std::size_t>(head_index_) % kBuckets] += bytes;
+    total_ += bytes;
+  }
+
+  /// Bytes per second over the window ending at `now`.
+  double rate_bps(SimTime now) {
+    rotate_to(now);
+    const double window_s =
+        bucket_span_.to_seconds() * static_cast<double>(kBuckets);
+    return static_cast<double>(total_) / window_s;
+  }
+
+  std::uint64_t total_in_window(SimTime now) {
+    rotate_to(now);
+    return total_;
+  }
+
+ private:
+  static constexpr std::int64_t kBucketCount = 20;
+  static constexpr std::size_t kBuckets = 20;
+
+  void rotate_to(SimTime now) {
+    const std::int64_t index = now.count_ns() / bucket_span_.count_ns();
+    if (index <= head_index_) return;
+    const std::int64_t advance = index - head_index_;
+    const std::int64_t to_clear =
+        advance >= static_cast<std::int64_t>(kBuckets)
+            ? static_cast<std::int64_t>(kBuckets)
+            : advance;
+    for (std::int64_t i = 1; i <= to_clear; ++i) {
+      auto& bucket =
+          buckets_[static_cast<std::size_t>(head_index_ + i) % kBuckets];
+      total_ -= bucket;
+      bucket = 0;
+    }
+    head_index_ = index;
+  }
+
+  Duration bucket_span_;
+  std::int64_t head_index_ = 0;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace p2plab::bt

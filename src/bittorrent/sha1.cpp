@@ -1,0 +1,153 @@
+#include "bittorrent/sha1.hpp"
+
+#include <cstring>
+
+namespace p2plab::bt {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xefcdab89u;
+  state_[2] = 0x98badcfeu;
+  state_[3] = 0x10325476u;
+  state_[4] = 0xc3d2e1f0u;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(length_bytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1Digest Sha1::hash(std::string_view text) {
+  Sha1 h;
+  h.update(text);
+  return h.finish();
+}
+
+std::string to_hex(const Sha1Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace p2plab::bt

@@ -1,0 +1,43 @@
+// SHA-1, as used by BitTorrent for piece verification and infohashes.
+//
+// A from-scratch implementation of FIPS 180-1. BitTorrent's integrity
+// model (and therefore our metainfo/verification path) depends on it; no
+// external crypto library is used.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace p2plab::bt {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  /// Finalize and return the digest; the object must be reset() for reuse.
+  Sha1Digest finish();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::span<const std::uint8_t> data);
+  static Sha1Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[5];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+/// Lowercase hex rendering (for tests and logs).
+std::string to_hex(const Sha1Digest& digest);
+
+}  // namespace p2plab::bt

@@ -1,0 +1,109 @@
+#include "bittorrent/swarm.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace p2plab::bt {
+
+Swarm::Swarm(core::Platform& platform, SwarmConfig config)
+    : platform_(&platform),
+      config_(config),
+      meta_(MetaInfo::make_synthetic("experiment.dat", config.file_size,
+                                     config.content_seed,
+                                     config.verify_hashes,
+                                     config.piece_length)) {
+  P2PLAB_ASSERT_MSG(platform.vnode_count() >= swarm_vnodes(config),
+                    "platform too small for this swarm");
+  Rng rng = platform.rng().fork(0xb17700);
+
+  // vnode 0: tracker.
+  tracker_ = std::make_unique<Tracker>(platform.api(0), Tracker::Config{},
+                                       rng.fork(1));
+  tracker_->start();
+  const PeerInfo tracker_info{platform.vnode(0).ip(), tracker_->port()};
+
+  ClientConfig client_config = config_.client;
+  client_config.verify_hashes = config_.verify_hashes;
+
+  // vnodes 1..seeders: initial seeders, online from t=0.
+  for (std::size_t s = 0; s < config_.seeders; ++s) {
+    const std::size_t v = 1 + s;
+    seeders_.push_back(std::make_unique<Client>(
+        platform.sim(), platform.api(v), meta_, tracker_info, client_config,
+        /*start_as_seed=*/true, rng.fork(100 + v)));
+    seeders_.back()->start();
+  }
+
+  // Remaining vnodes: downloading clients, started start_interval apart.
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    const std::size_t v = 1 + config_.seeders + c;
+    clients_.push_back(std::make_unique<Client>(
+        platform.sim(), platform.api(v), meta_, tracker_info, client_config,
+        /*start_as_seed=*/false, rng.fork(1000 + v)));
+    Client* client = clients_.back().get();
+    platform.sim().schedule_at(
+        SimTime::zero() +
+            config_.start_interval * static_cast<std::int64_t>(c),
+        [client] { client->start(); });
+  }
+}
+
+void Swarm::run() {
+  // Advance in coarse chunks: checking completion per event would cost an
+  // O(clients) scan on every one of the ~10^8 events of a full-scale run.
+  const SimTime cutoff = SimTime::zero() + config_.max_duration;
+  sim::Simulation& sim = platform_->sim();
+  while (!all_complete() && sim.now() < cutoff && sim.pending_events() > 0) {
+    sim.run_until(std::min(cutoff, sim.now() + Duration::sec(5)));
+  }
+  if (!all_complete()) {
+    P2PLAB_LOG_WARN("swarm run ended with %zu/%zu clients complete",
+                    completed_count(), clients_.size());
+  }
+}
+
+void Swarm::run_until(SimTime deadline) {
+  platform_->sim().run_until(deadline);
+}
+
+std::size_t Swarm::completed_count() const {
+  std::size_t count = 0;
+  for (const auto& client : clients_) count += client->has_completed();
+  return count;
+}
+
+std::vector<double> Swarm::completion_times_sec() const {
+  std::vector<double> times;
+  times.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    if (client->has_completed()) {
+      times.push_back(client->completion_time().to_seconds());
+    }
+  }
+  return times;
+}
+
+metrics::TimeSeries Swarm::completion_curve() const {
+  std::vector<double> times = completion_times_sec();
+  std::sort(times.begin(), times.end());
+  metrics::TimeSeries curve("clients_complete");
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    curve.add(SimTime::zero() + Duration::seconds(times[i]),
+              static_cast<double>(i + 1));
+  }
+  return curve;
+}
+
+std::vector<double> Swarm::total_bytes_curve(Duration step,
+                                             SimTime end) const {
+  std::vector<const metrics::TimeSeries*> series;
+  series.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    series.push_back(&client->bytes_down_series());
+  }
+  return metrics::sum_resampled(series, step, end);
+}
+
+}  // namespace p2plab::bt

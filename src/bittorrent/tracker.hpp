@@ -1,0 +1,102 @@
+// The BitTorrent tracker.
+//
+// Peers announce themselves per infohash and receive a random sample of
+// other participants (numwant, default 50) plus a re-announce interval.
+// The real tracker speaks HTTP; ours exchanges equivalently-sized messages
+// over the same stream sockets, which preserves the traffic pattern without
+// an HTTP stack (the tracker is not the object of study).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "common/rng.hpp"
+#include "bittorrent/sha1.hpp"
+#include "bittorrent/wire.hpp"
+#include "sockets/socket.hpp"
+
+namespace p2plab::bt {
+
+enum class AnnounceEvent : std::uint8_t { kStarted, kCompleted, kStopped,
+                                          kPeriodic };
+
+struct PeerInfo {
+  Ipv4Addr ip;
+  std::uint16_t port = 6881;
+  bool operator==(const PeerInfo&) const = default;
+};
+
+struct AnnounceRequest {
+  Sha1Digest info_hash{};
+  PeerInfo peer;
+  AnnounceEvent event = AnnounceEvent::kStarted;
+  std::uint32_t numwant = 50;
+  std::uint64_t left = 0;  // bytes remaining (tracker scrape statistics)
+};
+
+struct AnnounceResponse {
+  Duration interval = Duration::sec(1800);
+  std::vector<PeerInfo> peers;
+  std::uint32_t complete = 0;    // seeders in swarm
+  std::uint32_t incomplete = 0;  // leechers in swarm
+};
+
+/// Approximate HTTP GET /announce?... request size.
+inline DataSize announce_request_wire_size() { return DataSize::bytes(310); }
+/// Approximate bencoded response size: headers + 6 bytes per compact peer.
+inline DataSize announce_response_wire_size(std::size_t n_peers) {
+  return DataSize::bytes(120 + 6 * n_peers);
+}
+
+class Tracker {
+ public:
+  struct Config {
+    std::uint16_t port = 6969;
+    Duration interval = Duration::sec(1800);
+  };
+
+  Tracker(sockets::SocketApi& api, Config config, Rng rng);
+
+  void start();
+  Ipv4Addr ip() const { return api_->effective_bind_address(); }
+  std::uint16_t port() const { return config_.port; }
+
+  std::size_t swarm_size(const Sha1Digest& info_hash) const;
+  std::uint64_t announces_served() const { return announces_; }
+
+  /// Policy core, exposed for tests: register the announce and build the
+  /// response (random peer sample excluding the requester).
+  AnnounceResponse handle_announce(const AnnounceRequest& request);
+
+ private:
+  struct Swarm {
+    std::vector<PeerInfo> peers;
+    std::uint32_t complete = 0;
+  };
+
+  std::string key_of(const Sha1Digest& digest) const {
+    return std::string(reinterpret_cast<const char*>(digest.data()),
+                       digest.size());
+  }
+
+  sockets::SocketApi* api_;
+  Config config_;
+  Rng rng_;
+  sockets::ListenerPtr listener_;
+  std::map<std::string, Swarm> swarms_;
+  std::uint64_t announces_ = 0;
+};
+
+/// Tracker-protocol payloads carried in socket messages.
+struct TrackerAnnounceMsg {
+  AnnounceRequest request;
+};
+struct TrackerResponseMsg {
+  AnnounceResponse response;
+};
+
+}  // namespace p2plab::bt

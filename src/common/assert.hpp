@@ -1,0 +1,29 @@
+// Lightweight always-on assertion macros.
+//
+// Simulation correctness depends on internal invariants (event ordering,
+// queue accounting, byte conservation); violations must abort loudly even
+// in optimized builds rather than silently corrupt an experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2plab::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "p2plab: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace p2plab::detail
+
+#define P2PLAB_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::p2plab::detail::assert_fail(#expr, __FILE__, __LINE__,     \
+                                          nullptr))
+
+#define P2PLAB_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::p2plab::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

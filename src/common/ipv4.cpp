@@ -1,0 +1,69 @@
+#include "common/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace p2plab {
+
+namespace {
+
+// Parses a decimal octet from `text` at `pos`; advances `pos` past it.
+std::optional<std::uint8_t> parse_octet(std::string_view text, size_t& pos) {
+  if (pos >= text.size()) return std::nullopt;
+  unsigned value = 0;
+  const char* first = text.data() + pos;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first || value > 255) return std::nullopt;
+  // Reject leading zeros like "01" to keep the format canonical.
+  if (ptr - first > 1 && *first == '0') return std::nullopt;
+  pos += static_cast<size_t>(ptr - first);
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  size_t pos = 0;
+  std::uint8_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    auto o = parse_octet(text, pos);
+    if (!o) return std::nullopt;
+    octets[i] = *o;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr::from_octets(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<CidrBlock> CidrBlock::parse(std::string_view text) {
+  const size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return CidrBlock{*addr, len};
+}
+
+std::string CidrBlock::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace p2plab

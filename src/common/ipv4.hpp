@@ -1,0 +1,104 @@
+// IPv4 addresses and CIDR blocks.
+//
+// P2PLab assigns every virtual node its own aliased IPv4 address and
+// classifies packets with subnet-mask firewall rules, so address/prefix
+// arithmetic is a first-class substrate here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/assert.hpp"
+
+namespace p2plab {
+
+/// An IPv4 address, stored host-order for cheap prefix arithmetic.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr static Ipv4Addr from_u32(std::uint32_t v) { return Ipv4Addr{v}; }
+  constexpr static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  /// Parse dotted-quad ("10.1.3.207"); nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr std::uint32_t to_u32() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    P2PLAB_ASSERT(i >= 0 && i < 4);
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Address plus an offset (for iterating a subnet's hosts).
+  constexpr Ipv4Addr offset(std::uint32_t n) const {
+    return Ipv4Addr{value_ + n};
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value_(v) {}
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR block such as 10.1.3.0/24.
+class CidrBlock {
+ public:
+  constexpr CidrBlock() = default;
+  constexpr CidrBlock(Ipv4Addr base, int prefix_len)
+      : base_(Ipv4Addr::from_u32(base.to_u32() & mask_of(prefix_len))),
+        prefix_len_(prefix_len) {
+    P2PLAB_ASSERT(prefix_len >= 0 && prefix_len <= 32);
+  }
+  /// Parse "10.1.0.0/16"; nullopt on malformed input.
+  static std::optional<CidrBlock> parse(std::string_view text);
+
+  /// The /0 block matching every address.
+  constexpr static CidrBlock any() { return CidrBlock{Ipv4Addr{}, 0}; }
+
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr int prefix_len() const { return prefix_len_; }
+  constexpr std::uint32_t mask() const { return mask_of(prefix_len_); }
+  /// Number of addresses covered (2^(32-prefix)); /0 reports 2^32.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+
+  constexpr bool contains(Ipv4Addr a) const {
+    return (a.to_u32() & mask()) == base_.to_u32();
+  }
+  constexpr bool contains(CidrBlock other) const {
+    return prefix_len_ <= other.prefix_len_ && contains(other.base_);
+  }
+  constexpr bool overlaps(CidrBlock other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// The i-th host address (1-based within the block; 0 is the base).
+  constexpr Ipv4Addr host(std::uint32_t i) const {
+    P2PLAB_ASSERT(std::uint64_t{i} < size());
+    return base_.offset(i);
+  }
+
+  constexpr auto operator<=>(const CidrBlock&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr static std::uint32_t mask_of(int prefix_len) {
+    return prefix_len == 0 ? 0u
+                           : ~std::uint32_t{0}
+                                 << (32 - static_cast<unsigned>(prefix_len));
+  }
+  Ipv4Addr base_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace p2plab

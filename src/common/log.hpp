@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Kept deliberately tiny: experiments at the 5760-node scale produce
+// millions of loggable events, so log calls below the active level must
+// cost one branch. Output goes to stderr; experiment *data* never goes
+// through the logger (see metrics/trace.hpp for that).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace p2plab {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace detail {
+inline LogLevel g_log_level = LogLevel::kWarn;
+}
+
+inline void set_log_level(LogLevel level) { detail::g_log_level = level; }
+inline LogLevel log_level() { return detail::g_log_level; }
+
+inline void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[p2plab %s] ", kNames[static_cast<int>(level)]);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+#if defined(__GNUC__)
+#define P2PLAB_PRINTF_LIKE __attribute__((format(printf, 2, 3)))
+#else
+#define P2PLAB_PRINTF_LIKE
+#endif
+
+inline void log(LogLevel level, const char* fmt, ...) P2PLAB_PRINTF_LIKE;
+
+inline void log(LogLevel level, const char* fmt, ...) {
+  if (level < detail::g_log_level) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define P2PLAB_LOG_DEBUG(...) ::p2plab::log(::p2plab::LogLevel::kDebug, __VA_ARGS__)
+#define P2PLAB_LOG_INFO(...) ::p2plab::log(::p2plab::LogLevel::kInfo, __VA_ARGS__)
+#define P2PLAB_LOG_WARN(...) ::p2plab::log(::p2plab::LogLevel::kWarn, __VA_ARGS__)
+#define P2PLAB_LOG_ERROR(...) ::p2plab::log(::p2plab::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace p2plab

@@ -1,0 +1,149 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the platform (scheduler noise, packet loss,
+// rarest-first tie-breaking, tracker peer sampling) draws from an explicit
+// Rng instance seeded from the experiment seed, so whole runs replay
+// bit-identically. The generator is xoshiro256**, seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace p2plab {
+
+/// SplitMix64: used to expand a single seed into generator state, and as a
+/// cheap stateless hash for deriving per-entity substream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2f0c5b1e8a4d37ull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent substream, e.g. one per virtual node. Mixing the
+  /// stream id through SplitMix64 keeps substreams decorrelated.
+  Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ull);
+    return Rng{splitmix64(sm)};
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+  std::uint64_t operator()() { return next_u64(); }
+
+  /// Uniform in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound) {
+    P2PLAB_ASSERT(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    P2PLAB_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    P2PLAB_ASSERT(mean > 0);
+    double u;
+    do {
+      u = uniform01();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box–Muller (one value per call; simple over fast).
+  double normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = uniform01();
+    } while (u1 == 0.0);
+    const double u2 = uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform(i)]);
+    }
+  }
+
+  /// Reservoir-sample up to k elements of `items` (order unspecified).
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& items, size_t k) {
+    std::vector<T> out;
+    out.reserve(std::min(k, items.size()));
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (out.size() < k) {
+        out.push_back(items[i]);
+      } else {
+        const size_t j = uniform(i + 1);
+        if (j < k) out[j] = items[i];
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace p2plab

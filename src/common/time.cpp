@@ -1,0 +1,36 @@
+#include "common/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2plab {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const char* sign = ns < 0 ? "-" : "";
+  std::uint64_t mag =
+      ns < 0 ? static_cast<std::uint64_t>(-(ns + 1)) + 1  // avoid INT64_MIN UB
+             : static_cast<std::uint64_t>(ns);
+  if (mag >= 1000000000ull) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", sign,
+                  static_cast<double>(mag) / 1e9);
+  } else if (mag >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", sign,
+                  static_cast<double>(mag) / 1e6);
+  } else if (mag >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%s%.3fus", sign,
+                  static_cast<double>(mag) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%" PRIu64 "ns", sign, mag);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+std::string SimTime::to_string() const { return format_ns(ns_); }
+
+}  // namespace p2plab

@@ -1,0 +1,103 @@
+// Simulated time: a strong 64-bit nanosecond type.
+//
+// All of P2PLab's simulation runs on one clock. SimTime is a point on that
+// clock; Duration is a difference. Both are thin wrappers over int64
+// nanoseconds, cheap to copy and totally ordered. 64-bit nanoseconds cover
+// ~292 years of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace p2plab {
+
+/// A span of simulated time in nanoseconds. May be negative (differences).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration ns(std::int64_t v) { return Duration{v}; }
+  constexpr static Duration us(std::int64_t v) { return Duration{v * 1000}; }
+  constexpr static Duration ms(std::int64_t v) {
+    return Duration{v * 1000000};
+  }
+  constexpr static Duration sec(std::int64_t v) {
+    return Duration{v * 1000000000};
+  }
+  /// From fractional seconds; rounds to nearest nanosecond.
+  constexpr static Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  constexpr static Duration micros(double v) {
+    return Duration::seconds(v * 1e-6);
+  }
+  constexpr static Duration millis(double v) {
+    return Duration::seconds(v * 1e-3);
+  }
+  constexpr static Duration zero() { return Duration{0}; }
+  constexpr static Duration max() { return Duration{INT64_MAX}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Scale by a real factor, rounding to nearest nanosecond.
+  constexpr Duration scaled(double f) const {
+    return Duration::seconds(to_seconds() * f);
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A point in simulated time (nanoseconds since experiment start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr static SimTime from_ns(std::int64_t v) { return SimTime{v}; }
+  constexpr static SimTime zero() { return SimTime{0}; }
+  constexpr static SimTime max() { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime{ns_ + d.count_ns()};
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime{ns_ - d.count_ns()};
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::ns(ns_ - o.ns_);
+  }
+  constexpr SimTime& operator+=(Duration d) {
+    ns_ += d.count_ns();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace p2plab

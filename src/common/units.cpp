@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2plab {
+
+std::string DataSize::to_string() const {
+  char buf[64];
+  if (bytes_ >= (1ull << 30)) {
+    std::snprintf(buf, sizeof buf, "%.2fGiB",
+                  static_cast<double>(bytes_) / (1ull << 30));
+  } else if (bytes_ >= (1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.2fMiB",
+                  static_cast<double>(bytes_) / (1ull << 20));
+  } else if (bytes_ >= (1ull << 10)) {
+    std::snprintf(buf, sizeof buf, "%.2fKiB",
+                  static_cast<double>(bytes_) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 "B", bytes_);
+  }
+  return buf;
+}
+
+std::string Bandwidth::to_string() const {
+  char buf[64];
+  if (is_unlimited()) return "unlimited";
+  if (bits_per_sec_ >= 1000000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fGbps",
+                  static_cast<double>(bits_per_sec_) / 1e9);
+  } else if (bits_per_sec_ >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fMbps",
+                  static_cast<double>(bits_per_sec_) / 1e6);
+  } else if (bits_per_sec_ >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fkbps",
+                  static_cast<double>(bits_per_sec_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 "bps", bits_per_sec_);
+  }
+  return buf;
+}
+
+}  // namespace p2plab

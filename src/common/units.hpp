@@ -1,0 +1,104 @@
+// Data-size and bandwidth strong types.
+//
+// Network experiment parameters mix kilobits-per-second access links,
+// megabyte files and kibibyte pieces; strong types keep the unit algebra
+// honest (bytes / bandwidth -> Duration, bandwidth * Duration -> bytes).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace p2plab {
+
+/// An amount of data in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  constexpr static DataSize bytes(std::uint64_t v) { return DataSize{v}; }
+  constexpr static DataSize kib(std::uint64_t v) { return DataSize{v << 10}; }
+  constexpr static DataSize mib(std::uint64_t v) { return DataSize{v << 20}; }
+  constexpr static DataSize gib(std::uint64_t v) { return DataSize{v << 30}; }
+  constexpr static DataSize zero() { return DataSize{0}; }
+
+  constexpr std::uint64_t count_bytes() const { return bytes_; }
+  constexpr std::uint64_t count_bits() const { return bytes_ * 8; }
+  constexpr double to_mib() const {
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0);
+  }
+
+  constexpr DataSize operator+(DataSize o) const {
+    return DataSize{bytes_ + o.bytes_};
+  }
+  constexpr DataSize operator-(DataSize o) const {
+    P2PLAB_ASSERT(bytes_ >= o.bytes_);
+    return DataSize{bytes_ - o.bytes_};
+  }
+  constexpr DataSize operator*(std::uint64_t k) const {
+    return DataSize{bytes_ * k};
+  }
+  constexpr DataSize& operator+=(DataSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit DataSize(std::uint64_t v) : bytes_(v) {}
+  std::uint64_t bytes_ = 0;
+};
+
+/// A data rate in bits per second. A zero bandwidth means "unlimited"
+/// (a pure delay element), matching Dummynet's convention.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr static Bandwidth bps(std::uint64_t v) { return Bandwidth{v}; }
+  constexpr static Bandwidth kbps(std::uint64_t v) {
+    return Bandwidth{v * 1000};
+  }
+  constexpr static Bandwidth mbps(std::uint64_t v) {
+    return Bandwidth{v * 1000000};
+  }
+  constexpr static Bandwidth gbps(std::uint64_t v) {
+    return Bandwidth{v * 1000000000};
+  }
+  constexpr static Bandwidth unlimited() { return Bandwidth{0}; }
+
+  constexpr bool is_unlimited() const { return bits_per_sec_ == 0; }
+  constexpr std::uint64_t count_bps() const { return bits_per_sec_; }
+  constexpr double to_mbps() const {
+    return static_cast<double>(bits_per_sec_) / 1e6;
+  }
+
+  /// Time to serialize `size` at this rate. Unlimited -> zero.
+  constexpr Duration transmission_time(DataSize size) const {
+    if (is_unlimited()) return Duration::zero();
+    return Duration::seconds(static_cast<double>(size.count_bits()) /
+                             static_cast<double>(bits_per_sec_));
+  }
+
+  /// Bytes transferred in `d` at this rate (floor). Unlimited is invalid.
+  constexpr DataSize bytes_in(Duration d) const {
+    P2PLAB_ASSERT(!is_unlimited());
+    P2PLAB_ASSERT(d >= Duration::zero());
+    const double bits =
+        static_cast<double>(bits_per_sec_) * d.to_seconds();
+    return DataSize::bytes(static_cast<std::uint64_t>(bits / 8.0));
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Bandwidth(std::uint64_t v) : bits_per_sec_(v) {}
+  std::uint64_t bits_per_sec_ = 0;  // 0 == unlimited
+};
+
+}  // namespace p2plab

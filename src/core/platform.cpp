@@ -1,0 +1,162 @@
+#include "core/platform.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace p2plab::core {
+
+Platform::Platform(const topology::Topology& topo, PlatformConfig config)
+    : topo_(topo), config_(config), rng_(config.seed) {
+  P2PLAB_ASSERT(config_.physical_nodes >= 1);
+  P2PLAB_ASSERT(topo_.total_nodes() >= 1);
+  network_ = std::make_unique<net::Network>(sim_, rng_.fork(1),
+                                            config_.network);
+  sockets_ = std::make_unique<sockets::SocketManager>(
+      *network_, vnode::Interceptor{config_.syscall_costs}, config_.stream);
+  build_cluster();
+  deploy_vnodes();
+  compile_rules();
+  P2PLAB_LOG_INFO(
+      "platform up: %zu vnodes on %zu pnodes (%zu per node), %zu rules",
+      vnode_count(), physical_node_count(), folding_ratio(), total_rules());
+}
+
+std::size_t Platform::folding_ratio() const {
+  const std::size_t n = topo_.total_nodes();
+  const std::size_t p = config_.physical_nodes;
+  return (n + p - 1) / p;
+}
+
+std::size_t Platform::pnode_of_vnode(std::size_t i) const {
+  return i / folding_ratio();
+}
+
+void Platform::build_cluster() {
+  for (std::size_t p = 0; p < config_.physical_nodes; ++p) {
+    // Host addresses start at .1 within the admin subnet.
+    const Ipv4Addr admin =
+        config_.admin_subnet.host(static_cast<std::uint32_t>(p + 1));
+    network_->add_host("pnode" + std::to_string(p + 1), admin, config_.host);
+  }
+}
+
+void Platform::deploy_vnodes() {
+  const std::size_t n = topo_.total_nodes();
+  vnodes_.reserve(n);
+  processes_.reserve(n);
+  apis_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Host& host = network_->host(pnode_of_vnode(i));
+    vnodes_.push_back(std::make_unique<vnode::VirtualNode>(
+        host, static_cast<std::uint32_t>(i), topo_.node_address(i)));
+    processes_.push_back(std::make_unique<vnode::Process>(*vnodes_.back()));
+    apis_.push_back(
+        std::make_unique<sockets::SocketApi>(*sockets_, *processes_.back()));
+  }
+}
+
+void Platform::compile_rules() {
+  // Per physical node: two pipe rules per hosted vnode (the emulated access
+  // link, both directions), then one rule per inter-zone latency pair that
+  // involves a zone with nodes hosted here (source side only; "the opposite
+  // rule being on the nodes hosting" the other zone).
+  const auto& zones = topo_.zones();
+  const std::size_t n = topo_.total_nodes();
+
+  for (std::size_t p = 0; p < physical_node_count(); ++p) {
+    net::Host& host = network_->host(p);
+    ipfw::Firewall& fw = host.firewall();
+    std::uint32_t rule_number = 100;
+    std::set<std::size_t> hosted_zones;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pnode_of_vnode(i) != p) continue;
+      const topology::LinkClass& link = topo_.link_of_node(i);
+      const Ipv4Addr addr = topo_.node_address(i);
+      const CidrBlock host_block{addr, 32};
+      hosted_zones.insert(topo_.zone_of_node(i));
+
+      const ipfw::PipeId up = fw.create_pipe(
+          {.bandwidth = link.up,
+           .delay = link.latency,
+           .loss_rate = link.loss_rate,
+           .queue_limit = config_.vnode_pipe_queue,
+           .fair_queue = true});
+      fw.add_rule({.number = rule_number++, .src = host_block,
+                   .dst = CidrBlock::any(), .dir = ipfw::RuleDir::kOut,
+                   .action = ipfw::RuleAction::kPipe, .pipe = up});
+      const ipfw::PipeId down = fw.create_pipe(
+          {.bandwidth = link.down,
+           .delay = link.latency,
+           .loss_rate = link.loss_rate,
+           .queue_limit = config_.vnode_pipe_queue,
+           .fair_queue = true});
+      fw.add_rule({.number = rule_number++, .src = CidrBlock::any(),
+                   .dst = host_block, .dir = ipfw::RuleDir::kIn,
+                   .action = ipfw::RuleAction::kPipe, .pipe = down});
+    }
+
+    std::uint32_t group_rule_number = 60000;
+    for (const topology::LatencyPair& pair : topo_.latencies()) {
+      // Does this pnode host nodes belonging to either side of the pair?
+      // (Container zones match via subnet containment.)
+      auto hosts_side = [&](topology::ZoneId side) {
+        for (std::size_t z : hosted_zones) {
+          if (zones[side].subnet.contains(zones[z].subnet)) return true;
+        }
+        return false;
+      };
+      auto add_group_rule = [&](topology::ZoneId src_zone,
+                                topology::ZoneId dst_zone) {
+        const ipfw::PipeId pipe = fw.create_pipe({.delay = pair.latency});
+        fw.add_rule({.number = group_rule_number++,
+                     .src = zones[src_zone].subnet,
+                     .dst = zones[dst_zone].subnet,
+                     .dir = ipfw::RuleDir::kOut,
+                     .action = ipfw::RuleAction::kPipe, .pipe = pipe});
+      };
+      if (hosts_side(pair.a)) add_group_rule(pair.a, pair.b);
+      if (hosts_side(pair.b)) add_group_rule(pair.b, pair.a);
+    }
+  }
+}
+
+void Platform::ping(Ipv4Addr src, Ipv4Addr dst,
+                    std::function<void(Duration)> on_rtt, DataSize size) {
+  const SimTime start = sim_.now();
+  const ipfw::FlowId flow = 0x7f000000ull + ++ping_flow_;
+  net::Packet request;
+  request.src = src;
+  request.dst = dst;
+  request.wire_size = size;
+  request.flow = flow;
+  request.kind = net::PacketKind::kDatagram;
+  request.on_deliver = [this, start, size, flow,
+                        cb = std::move(on_rtt)](net::Packet&& p) mutable {
+    net::Packet reply;
+    reply.src = p.dst;
+    reply.dst = p.src;
+    reply.wire_size = size;
+    reply.flow = flow;
+    reply.kind = net::PacketKind::kDatagram;
+    reply.on_deliver = [this, start, cb = std::move(cb)](net::Packet&&) {
+      cb(sim_.now() - start);
+    };
+    network_->send(std::move(reply));
+  };
+  network_->send(std::move(request));
+}
+
+std::size_t Platform::total_rules() const {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < config_.physical_nodes; ++p) {
+    total += network_->host(p).firewall().rule_count();
+  }
+  return total;
+}
+
+}  // namespace p2plab::core

@@ -1,0 +1,98 @@
+// P2PLab: the experimentation platform.
+//
+// A Platform materializes an experiment: it builds the physical cluster
+// (hosts + switch), folds the topology's virtual nodes onto the physical
+// nodes, configures each node's IP aliases, compiles the decentralized
+// IPFW/Dummynet rule set (two pipe rules per hosted virtual node plus one
+// rule per inter-group latency pair — the Figure 7 recipe), and exposes
+// per-virtual-node process environments and socket APIs for the studied
+// application. A ping probe reproduces the paper's latency measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "sockets/socket.hpp"
+#include "topology/topology.hpp"
+#include "vnode/interceptor.hpp"
+#include "vnode/vnode.hpp"
+
+namespace p2plab::core {
+
+struct PlatformConfig {
+  /// Number of physical nodes; virtual nodes are folded onto them in
+  /// contiguous blocks (ceil(N/P) per node, like the paper's deployments).
+  std::size_t physical_nodes = 1;
+  /// Administration network (the paper uses 192.168.38.0/24; we default to
+  /// a /16 so scalability runs are not capped at 254 hosts).
+  CidrBlock admin_subnet = CidrBlock{Ipv4Addr::from_octets(192, 168, 0, 0), 16};
+  net::HostConfig host;
+  net::NetworkConfig network;
+  sockets::StreamConfig stream;
+  vnode::SyscallCosts syscall_costs;
+  /// Queue bound for the per-vnode access pipes. Deliberately larger than
+  /// Dummynet's 50-slot default: our transport has no congestion control,
+  /// so the pipe queue provides the backlog that TCP self-clocking would
+  /// (DESIGN.md §6). Bounded per flow by the transport send window.
+  DataSize vnode_pipe_queue = DataSize::mib(8);
+  std::uint64_t seed = 1;
+};
+
+class Platform {
+ public:
+  Platform(const topology::Topology& topo, PlatformConfig config);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  sockets::SocketManager& sockets() { return *sockets_; }
+  const topology::Topology& topology() const { return topo_; }
+  const PlatformConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  std::size_t vnode_count() const { return vnodes_.size(); }
+  std::size_t physical_node_count() const { return network_->host_count(); }
+
+  vnode::VirtualNode& vnode(std::size_t i) { return *vnodes_.at(i); }
+  vnode::Process& process(std::size_t i) { return *processes_.at(i); }
+  sockets::SocketApi& api(std::size_t i) { return *apis_.at(i); }
+  net::Host& host_of_vnode(std::size_t i) { return vnodes_.at(i)->host(); }
+  /// Physical node index hosting virtual node i.
+  std::size_t pnode_of_vnode(std::size_t i) const;
+
+  /// Virtual nodes folded onto each physical node (ceil(N/P)).
+  std::size_t folding_ratio() const;
+
+  /// ICMP-echo-like probe: round-trip time of a `size`-byte packet through
+  /// the full emulated path, both ways. The callback fires on reply.
+  void ping(Ipv4Addr src, Ipv4Addr dst, std::function<void(Duration)> on_rtt,
+            DataSize size = DataSize::bytes(64));
+
+  /// Total IPFW rules installed across all physical nodes (diagnostics).
+  std::size_t total_rules() const;
+
+ private:
+  void build_cluster();
+  void deploy_vnodes();
+  void compile_rules();
+
+  topology::Topology topo_;
+  PlatformConfig config_;
+  sim::Simulation sim_;
+  Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<sockets::SocketManager> sockets_;
+  std::vector<std::unique_ptr<vnode::VirtualNode>> vnodes_;
+  std::vector<std::unique_ptr<vnode::Process>> processes_;
+  std::vector<std::unique_ptr<sockets::SocketApi>> apis_;
+  std::uint64_t ping_flow_ = 0;
+};
+
+}  // namespace p2plab::core

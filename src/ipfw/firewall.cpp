@@ -1,0 +1,73 @@
+#include "ipfw/firewall.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace p2plab::ipfw {
+
+Firewall::Firewall(sim::Simulation& sim, FirewallConfig config, Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  if (config_.use_hash_classifier) {
+    classifier_ = std::make_unique<HashClassifier>();
+  } else {
+    classifier_ = std::make_unique<LinearClassifier>();
+  }
+  classifier_->rebuild(rules_);
+}
+
+PipeId Firewall::create_pipe(const PipeConfig& config) {
+  pipes_.push_back(std::make_unique<Pipe>(
+      sim_, config, rng_.fork(pipes_.size() + 1)));
+  return static_cast<PipeId>(pipes_.size());  // ids start at 1
+}
+
+Pipe& Firewall::pipe(PipeId id) {
+  P2PLAB_ASSERT(id != kNoPipe && id <= pipes_.size());
+  return *pipes_[id - 1];
+}
+
+const Pipe& Firewall::pipe(PipeId id) const {
+  P2PLAB_ASSERT(id != kNoPipe && id <= pipes_.size());
+  return *pipes_[id - 1];
+}
+
+void Firewall::add_rule(Rule rule) {
+  if (rule.action == RuleAction::kPipe) {
+    P2PLAB_ASSERT_MSG(rule.pipe != kNoPipe && rule.pipe <= pipes_.size(),
+                      "pipe rule references unknown pipe");
+  }
+  // Insert before the first rule with a larger number (stable for equals).
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const Rule& a, const Rule& b) { return a.number < b.number; });
+  rules_.insert(pos, rule);
+  rebuild_classifier();
+}
+
+void Firewall::add_filler_rules(std::uint32_t first_number,
+                                std::uint32_t count) {
+  // Never-matching src: 255.255.255.255/32 is not used as a node address.
+  const CidrBlock nomatch{Ipv4Addr::from_octets(255, 255, 255, 255), 32};
+  rules_.reserve(rules_.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Rule rule;
+    rule.number = first_number + i;
+    rule.src = nomatch;
+    rule.action = RuleAction::kDeny;
+    auto pos = std::upper_bound(
+        rules_.begin(), rules_.end(), rule,
+        [](const Rule& a, const Rule& b) { return a.number < b.number; });
+    rules_.insert(pos, rule);
+  }
+  rebuild_classifier();
+}
+
+MatchResult Firewall::classify(Ipv4Addr src, Ipv4Addr dst,
+                               RuleDir pass) const {
+  return classifier_->classify(src, dst, pass);
+}
+
+void Firewall::rebuild_classifier() { classifier_->rebuild(rules_); }
+
+}  // namespace p2plab::ipfw

@@ -1,0 +1,104 @@
+// Dummynet-style pipes.
+//
+// A pipe is Dummynet's shaping element: a bounded queue drained at a fixed
+// bandwidth, followed by a fixed-delay line, with optional random loss.
+// P2PLab attaches two pipes to every virtual node (one per direction,
+// emulating the node<->ISP access link) plus pure-delay pipes for
+// inter-group latency.
+//
+// One deliberate refinement over FIFO Dummynet: the bandwidth server can
+// share the link across flows with deficit-round-robin. Real P2PLab relies
+// on TCP to share a Dummynet pipe fairly among a node's connections; we do
+// not simulate TCP congestion control, so DRR stands in for that fairness
+// (DESIGN.md §6). FIFO mode is available for faithfulness studies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace p2plab::ipfw {
+
+using FlowId = std::uint64_t;
+
+struct PipeConfig {
+  Bandwidth bandwidth = Bandwidth::unlimited();  // 0 = pure delay element
+  Duration delay = Duration::zero();
+  double loss_rate = 0.0;  // applied at enqueue, like Dummynet's plr
+  /// Queue bound in bytes (Dummynet defaults to 50 slots; 50 full-size
+  /// Ethernet frames is the equivalent here).
+  DataSize queue_limit = DataSize::bytes(50 * 1500);
+  bool fair_queue = true;  // DRR across flows; false = strict FIFO
+};
+
+struct PipeStats {
+  std::uint64_t segments_in = 0;
+  std::uint64_t segments_out = 0;
+  std::uint64_t segments_dropped = 0;  // queue overflow + random loss
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t max_queue_bytes = 0;
+};
+
+class Pipe {
+ public:
+  /// `on_exit` runs when the segment leaves the delay line; `on_drop` (may
+  /// be empty) runs if the segment is lost at enqueue.
+  struct Segment {
+    DataSize size;
+    FlowId flow = 0;
+    std::function<void()> on_exit;
+    std::function<void()> on_drop;
+  };
+
+  Pipe(sim::Simulation& sim, PipeConfig config, Rng rng);
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  void enqueue(Segment seg);
+
+  const PipeConfig& config() const { return config_; }
+  const PipeStats& stats() const { return stats_; }
+  DataSize queued() const { return DataSize::bytes(queued_bytes_); }
+
+  /// Reconfigure bandwidth/delay/loss in place (ipfw pipe N config ...).
+  /// Queued segments keep draining at the new rate from the next service.
+  void reconfigure(const PipeConfig& config) { config_ = config; }
+
+ private:
+  struct FlowQueue {
+    std::deque<Segment> segments;
+    std::uint64_t deficit_bytes = 0;
+  };
+
+  void serve_next();
+  void start_service(Segment seg);
+  void depart(Segment seg);  // bandwidth stage done -> delay line
+
+  static constexpr std::uint64_t kDrrQuantumBytes = 4096;
+
+  sim::Simulation& sim_;
+  PipeConfig config_;
+  Rng rng_;
+  PipeStats stats_;
+
+  bool busy_ = false;
+  std::uint64_t queued_bytes_ = 0;
+
+  // DRR state: per-flow queues plus an active ring in service order.
+  std::unordered_map<FlowId, FlowQueue> flows_;
+  std::list<FlowId> active_;
+
+  // FIFO state (fair_queue == false).
+  std::deque<Segment> fifo_;
+};
+
+}  // namespace p2plab::ipfw

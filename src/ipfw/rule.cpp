@@ -1,0 +1,98 @@
+#include "ipfw/rule.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace p2plab::ipfw {
+
+MatchResult LinearClassifier::classify(Ipv4Addr src, Ipv4Addr dst,
+                                       RuleDir pass) const {
+  MatchResult result;
+  for (const Rule& rule : rules_) {
+    ++result.rules_scanned;
+    if (!rule.matches(src, dst, pass)) continue;
+    switch (rule.action) {
+      case RuleAction::kPipe:
+        result.pipes.push_back(rule.pipe);
+        break;  // one_pass=0: keep scanning
+      case RuleAction::kAllow:
+        return result;
+      case RuleAction::kDeny:
+        result.denied = true;
+        return result;
+    }
+  }
+  return result;  // implicit allow at end of list
+}
+
+void HashClassifier::rebuild(const std::vector<Rule>& rules) {
+  by_src_host_.clear();
+  by_dst_host_.clear();
+  residual_.clear();
+  sorted_ = false;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    IndexedRule ir{rules[i], i};
+    if (rules[i].src.prefix_len() == 32) {
+      by_src_host_.emplace_back(rules[i].src.base().to_u32(), ir);
+    } else if (rules[i].dst.prefix_len() == 32) {
+      by_dst_host_.emplace_back(rules[i].dst.base().to_u32(), ir);
+    } else {
+      residual_.push_back(ir);
+    }
+  }
+  sort_buckets();
+}
+
+void HashClassifier::sort_buckets() {
+  auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(by_src_host_.begin(), by_src_host_.end(), by_key);
+  std::sort(by_dst_host_.begin(), by_dst_host_.end(), by_key);
+  sorted_ = true;
+}
+
+MatchResult HashClassifier::classify(Ipv4Addr src, Ipv4Addr dst,
+                                     RuleDir pass) const {
+  P2PLAB_ASSERT(sorted_);
+  MatchResult result;
+
+  // Gather candidate rules: host-indexed hits plus all residual rules.
+  // Candidates must then be applied in original rule order to preserve
+  // allow/deny semantics, so collect (order, rule) and sort. Candidate sets
+  // are tiny (a handful), which is the point of the ablation.
+  std::vector<const IndexedRule*> candidates;
+  auto collect = [&](const std::vector<std::pair<std::uint32_t, IndexedRule>>&
+                         bucket,
+                     std::uint32_t key) {
+    auto [lo, hi] = std::equal_range(
+        bucket.begin(), bucket.end(), std::make_pair(key, IndexedRule{}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = lo; it != hi; ++it) candidates.push_back(&it->second);
+  };
+  collect(by_src_host_, src.to_u32());
+  collect(by_dst_host_, dst.to_u32());
+  for (const IndexedRule& ir : residual_) candidates.push_back(&ir);
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const IndexedRule* a, const IndexedRule* b) {
+              return a->order < b->order;
+            });
+
+  for (const IndexedRule* ir : candidates) {
+    ++result.rules_scanned;
+    if (!ir->rule.matches(src, dst, pass)) continue;
+    switch (ir->rule.action) {
+      case RuleAction::kPipe:
+        result.pipes.push_back(ir->rule.pipe);
+        break;
+      case RuleAction::kAllow:
+        return result;
+      case RuleAction::kDeny:
+        result.denied = true;
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace p2plab::ipfw

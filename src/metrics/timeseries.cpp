@@ -1,0 +1,22 @@
+#include "metrics/timeseries.hpp"
+
+namespace p2plab::metrics {
+
+std::vector<double> sum_resampled(const std::vector<const TimeSeries*>& series,
+                                  Duration step, SimTime end) {
+  P2PLAB_ASSERT(step > Duration::zero());
+  std::vector<double> total;
+  const size_t n_points =
+      static_cast<size_t>(end.count_ns() / step.count_ns()) + 1;
+  total.assign(n_points, 0.0);
+  for (const TimeSeries* ts : series) {
+    P2PLAB_ASSERT(ts != nullptr);
+    size_t i = 0;
+    for (SimTime t = SimTime::zero(); t <= end && i < n_points; t += step, ++i) {
+      total[i] += ts->value_at(t);
+    }
+  }
+  return total;
+}
+
+}  // namespace p2plab::metrics

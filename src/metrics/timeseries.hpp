@@ -1,0 +1,89 @@
+// Time series collection for experiment traces.
+//
+// The paper's BitTorrent client was "slightly modified to allow data
+// collection (a time-stamp was added to the default output)"; TimeSeries is
+// our equivalent: append-only (time, value) pairs per node, sampled either
+// on events or on a fixed cadence, later resampled onto a common grid for
+// the figure harnesses.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace p2plab::metrics {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add(SimTime t, double value) {
+    P2PLAB_ASSERT_MSG(points_.empty() || t >= points_.back().first,
+                      "time series must be appended in time order");
+    points_.emplace_back(t, value);
+  }
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+  SimTime first_time() const {
+    P2PLAB_ASSERT(!points_.empty());
+    return points_.front().first;
+  }
+  SimTime last_time() const {
+    P2PLAB_ASSERT(!points_.empty());
+    return points_.back().first;
+  }
+  double last_value() const {
+    P2PLAB_ASSERT(!points_.empty());
+    return points_.back().second;
+  }
+
+  /// Step-function value at time t: the most recent sample at or before t.
+  /// Before the first sample, returns `before` (default 0).
+  double value_at(SimTime t, double before = 0.0) const {
+    if (points_.empty() || t < points_.front().first) return before;
+    // Binary search for the last point with time <= t.
+    size_t lo = 0;
+    size_t hi = points_.size();
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (points_[mid].first <= t) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return points_[lo].second;
+  }
+
+  /// Resample onto a fixed grid [0, end] at `step`, as a step function.
+  std::vector<double> resample(Duration step, SimTime end,
+                               double before = 0.0) const {
+    P2PLAB_ASSERT(step > Duration::zero());
+    std::vector<double> out;
+    for (SimTime t = SimTime::zero(); t <= end; t += step) {
+      out.push_back(value_at(t, before));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+/// Sum several step-function series on a common grid (e.g. "total amount of
+/// data received by the nodes" in Figure 9).
+std::vector<double> sum_resampled(const std::vector<const TimeSeries*>& series,
+                                  Duration step, SimTime end);
+
+}  // namespace p2plab::metrics

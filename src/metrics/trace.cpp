@@ -1,0 +1,69 @@
+#include "metrics/trace.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace p2plab::metrics {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string line;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) line += ',';
+    line += parts[i];
+  }
+  return line;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  // %g keeps integers clean and floats compact.
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& name,
+                     const std::vector<std::string>& columns)
+    : n_columns_(columns.size()) {
+  P2PLAB_ASSERT(n_columns_ > 0);
+  if (const char* dir = std::getenv("P2PLAB_RESULTS_DIR")) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    file_ = std::fopen(path.c_str(), "w");
+  }
+  emit(join(columns));
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> text;
+  text.reserve(values.size());
+  for (double v : values) text.push_back(format_double(v));
+  row(text);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  P2PLAB_ASSERT_MSG(values.size() == n_columns_,
+                    "CSV row width differs from header");
+  emit(join(values));
+  ++rows_;
+}
+
+void CsvWriter::comment(const std::string& text) { emit("# " + text); }
+
+void CsvWriter::emit(const std::string& line) {
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  if (file_ != nullptr) {
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+  }
+}
+
+}  // namespace p2plab::metrics

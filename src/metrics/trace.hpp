@@ -1,0 +1,44 @@
+// CSV trace sinks for figure harnesses.
+//
+// Every bench binary prints its figure data as CSV on stdout and (when
+// P2PLAB_RESULTS_DIR is set) mirrors it to a file, so the paper's plots can
+// be regenerated with gnuplot/matplotlib without re-running the experiment.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p2plab::metrics {
+
+/// A CSV table writer. Column count is fixed by the header; row writes are
+/// checked against it.
+class CsvWriter {
+ public:
+  /// Writes to stdout, and additionally to `$P2PLAB_RESULTS_DIR/<name>.csv`
+  /// if that environment variable names a writable directory.
+  explicit CsvWriter(const std::string& name,
+                     const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  /// Free-form comment line (prefixed with '#').
+  void comment(const std::string& text);
+
+  size_t rows_written() const { return rows_; }
+
+ private:
+  void emit(const std::string& line);
+
+  size_t n_columns_;
+  size_t rows_ = 0;
+  std::FILE* file_ = nullptr;  // optional mirror; stdout always written
+};
+
+}  // namespace p2plab::metrics

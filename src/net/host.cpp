@@ -1,0 +1,53 @@
+#include "net/host.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "net/network.hpp"
+
+namespace p2plab::net {
+
+Host::Host(Network& network, std::string name, Ipv4Addr admin_ip,
+           HostConfig config, Rng rng)
+    : network_(network),
+      name_(std::move(name)),
+      admin_ip_(admin_ip),
+      config_(config),
+      firewall_(network.sim(), config.firewall, rng.fork(1)),
+      nic_tx_(config.nic_bandwidth, config.nic_latency, config.nic_queue),
+      nic_rx_(config.nic_bandwidth, config.nic_latency, config.nic_queue),
+      cpu_busy_until_(SimTime::zero()) {
+  P2PLAB_ASSERT(config_.n_cpus >= 1);
+  network_.register_address(admin_ip_, this);
+}
+
+void Host::add_alias(Ipv4Addr addr) {
+  aliases_.push_back(addr);
+  network_.register_address(addr, this);
+}
+
+Duration Host::charge_cpu(Duration work) {
+  if (work <= Duration::zero()) return Duration::zero();
+  const SimTime now = network_.sim().now();
+  // Aggregate-server model: capacity drains at n_cpus, but each unit of
+  // work executes serially on one core, so the caller's latency is the
+  // queueing delay plus the *full* work time (a 2.5 ms rule scan delays
+  // the packet by 2.5 ms even on a dual CPU).
+  const SimTime start = std::max(cpu_busy_until_, now);
+  const Duration service =
+      Duration::ns(work.count_ns() / config_.n_cpus +
+                   (work.count_ns() % config_.n_cpus != 0 ? 1 : 0));
+  cpu_busy_until_ = start + service;
+  cpu_consumed_ += work;
+  return (start - now) + work;
+}
+
+double Host::cpu_utilization() const {
+  const SimTime now = network_.sim().now();
+  if (now == SimTime::zero()) return 0.0;
+  const double capacity =
+      now.to_seconds() * static_cast<double>(config_.n_cpus);
+  return cpu_consumed_.to_seconds() / capacity;
+}
+
+}  // namespace p2plab::net

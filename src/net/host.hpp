@@ -1,0 +1,83 @@
+// A physical node of the experimental platform.
+//
+// Models one GridExplorer machine: a Gigabit NIC (one shaped pipe per
+// direction), a per-host IPFW firewall with Dummynet pipes (P2PLab's
+// decentralized emulation), IP aliases for the hosted virtual nodes
+// (Figure 4), and a coarse CPU model that charges per-packet processing
+// and firewall rule-scan time. CPU charging matters for the folding study:
+// it is one of the overhead sources the paper monitored ("system load,
+// memory usage, disk I/O") and found unproblematic at 80 vnodes/node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "ipfw/firewall.hpp"
+#include "net/link_server.hpp"
+#include "sim/simulation.hpp"
+
+namespace p2plab::net {
+
+class Network;
+
+struct HostConfig {
+  Bandwidth nic_bandwidth = Bandwidth::gbps(1);
+  Duration nic_latency = Duration::us(20);
+  DataSize nic_queue = DataSize::kib(512);
+  int n_cpus = 2;
+  /// CPU work to process one packet through the stack (send or receive).
+  Duration packet_cpu_cost = Duration::us(10);
+  ipfw::FirewallConfig firewall;
+};
+
+class Host {
+ public:
+  Host(Network& network, std::string name, Ipv4Addr admin_ip,
+       HostConfig config, Rng rng);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  Ipv4Addr admin_ip() const { return admin_ip_; }
+  const HostConfig& config() const { return config_; }
+
+  ipfw::Firewall& firewall() { return firewall_; }
+  const ipfw::Firewall& firewall() const { return firewall_; }
+
+  /// Assign an additional IP to this host's interface (ifconfig alias) and
+  /// register it with the network. This is how virtual nodes get their
+  /// network identity.
+  void add_alias(Ipv4Addr addr);
+  const std::vector<Ipv4Addr>& aliases() const { return aliases_; }
+
+  /// Charge `work` of CPU time; returns the latency until it completes
+  /// (queueing behind earlier work plus service). The host's CPUs are
+  /// modeled as one server of aggregate speed n_cpus — coarse, but enough
+  /// to expose CPU saturation under extreme folding.
+  Duration charge_cpu(Duration work);
+
+  /// Fraction of CPU time consumed so far (diagnostic).
+  double cpu_utilization() const;
+
+  LinkServer& nic_tx() { return nic_tx_; }
+  LinkServer& nic_rx() { return nic_rx_; }
+
+ private:
+  Network& network_;
+  std::string name_;
+  Ipv4Addr admin_ip_;
+  HostConfig config_;
+  ipfw::Firewall firewall_;
+  LinkServer nic_tx_;
+  LinkServer nic_rx_;
+  std::vector<Ipv4Addr> aliases_;
+  SimTime cpu_busy_until_;
+  Duration cpu_consumed_ = Duration::zero();
+};
+
+}  // namespace p2plab::net

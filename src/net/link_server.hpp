@@ -1,0 +1,74 @@
+// Analytic FIFO link: serialization + fixed latency without queue events.
+//
+// A NIC is a strict-FIFO serializer; unlike the Dummynet access pipes it
+// needs no fair queueing, so its behaviour can be computed in O(1) at
+// transmit time: the packet departs at max(now, busy_until) + service and
+// arrives `latency` later. This collapses the five heap events of a
+// pipe-modeled fabric hop (enqueue/serve/exit x2 + switch) into the single
+// delivery event, which matters at 10^8-event scale.
+//
+// Approximation note: reservations are made in *send* order, not arrival
+// order, so two packets from different sources may be served slightly out
+// of arrival order; the error is bounded by one packet's service time
+// (~131 us for 16 KiB at 1 Gb/s) and only manifests near saturation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace p2plab::net {
+
+struct LinkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;
+};
+
+class LinkServer {
+ public:
+  LinkServer(Bandwidth bandwidth, Duration latency, DataSize queue_limit)
+      : bandwidth_(bandwidth), latency_(latency), queue_limit_(queue_limit) {}
+
+  /// Reserve transmission starting no earlier than `t`. Returns the delay
+  /// from `t` until the packet has fully arrived at the far end (queueing
+  /// + serialization + propagation), or nullopt if the backlog would
+  /// exceed the queue limit (tail drop).
+  std::optional<Duration> transmit(SimTime t, DataSize size) {
+    const Duration backlog =
+        busy_until_ > t ? busy_until_ - t : Duration::zero();
+    if (!bandwidth_.is_unlimited() &&
+        bandwidth_.bytes_in(backlog).count_bytes() + size.count_bytes() >
+            queue_limit_.count_bytes() &&
+        backlog > Duration::zero()) {
+      ++stats_.dropped;
+      return std::nullopt;
+    }
+    const Duration service = bandwidth_.transmission_time(size);
+    const SimTime start = std::max(busy_until_, t);
+    busy_until_ = start + service;
+    ++stats_.packets;
+    stats_.bytes += size.count_bytes();
+    return (busy_until_ - t) + latency_;
+  }
+
+  /// Current backlog ahead of a packet entering at `t`.
+  Duration backlog_at(SimTime t) const {
+    return busy_until_ > t ? busy_until_ - t : Duration::zero();
+  }
+
+  Bandwidth bandwidth() const { return bandwidth_; }
+  Duration latency() const { return latency_; }
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  Bandwidth bandwidth_;
+  Duration latency_;
+  DataSize queue_limit_;
+  SimTime busy_until_;
+  LinkStats stats_;
+};
+
+}  // namespace p2plab::net

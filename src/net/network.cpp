@@ -1,0 +1,155 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace p2plab::net {
+
+Network::Network(sim::Simulation& sim, Rng rng, NetworkConfig config)
+    : sim_(sim), rng_(rng), config_(config) {}
+
+Host& Network::add_host(std::string name, Ipv4Addr admin_ip,
+                        HostConfig config) {
+  hosts_.push_back(std::make_unique<Host>(*this, std::move(name), admin_ip,
+                                          config,
+                                          rng_.fork(hosts_.size() + 100)));
+  return *hosts_.back();
+}
+
+Host* Network::host_of(Ipv4Addr addr) {
+  const auto it = by_address_.find(addr.to_u32());
+  return it == by_address_.end() ? nullptr : it->second;
+}
+
+void Network::register_address(Ipv4Addr addr, Host* host) {
+  const auto [it, inserted] = by_address_.emplace(addr.to_u32(), host);
+  P2PLAB_ASSERT_MSG(inserted, "IP address assigned twice");
+  (void)it;
+}
+
+void Network::send(Packet packet) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.wire_size.count_bytes();
+  packet.sent_at = sim_.now();
+
+  Host* src = host_of(packet.src);
+  P2PLAB_ASSERT_MSG(src != nullptr, "packet sent from unknown address");
+  if (host_of(packet.dst) == nullptr) {
+    ++stats_.packets_unroutable;
+    return;
+  }
+  leave_source(std::make_shared<Packet>(std::move(packet)), *src);
+}
+
+void Network::leave_source(std::shared_ptr<Packet> packet, Host& src) {
+  const auto match = src.firewall().classify(packet->src, packet->dst,
+                                             ipfw::RuleDir::kOut);
+  if (match.denied) {
+    ++stats_.packets_dropped_fw;
+    return;
+  }
+  // Firewall scan + stack processing are CPU work on the source host.
+  const Duration cpu_delay = src.charge_cpu(src.firewall().scan_cost(match) +
+                                            src.config().packet_cpu_cost);
+  auto continue_path = [this, packet, &src, pipes = match.pipes]() mutable {
+    pass_pipes(packet, src.firewall(), std::move(pipes), 0,
+               [this, packet, &src] {
+                 Host* dst = host_of(packet->dst);
+                 if (dst == nullptr) {  // address vanished mid-flight
+                   ++stats_.packets_unroutable;
+                   return;
+                 }
+                 if (dst == &src) {
+                   // Loopback / co-located vnodes: skip NIC and switch.
+                   arrive_at_destination(packet, *dst);
+                 } else {
+                   traverse_fabric(packet, src, *dst);
+                 }
+               });
+  };
+  if (cpu_delay == Duration::zero()) {
+    continue_path();
+  } else {
+    sim_.schedule_after(cpu_delay, std::move(continue_path));
+  }
+}
+
+void Network::traverse_fabric(std::shared_ptr<Packet> packet, Host& src,
+                              Host& dst) {
+  // Both NIC reservations are made analytically at send time; the whole
+  // fabric hop (tx serialization + switch + rx serialization) costs one
+  // scheduled event (see link_server.hpp for the approximation bound).
+  const SimTime now = sim_.now();
+  const auto tx_delay = src.nic_tx().transmit(now, packet->wire_size);
+  if (!tx_delay) {
+    ++stats_.packets_dropped_pipe;
+    return;
+  }
+  const SimTime at_switch_out = now + *tx_delay + config_.switch_latency;
+  const auto rx_delay =
+      dst.nic_rx().transmit(at_switch_out, packet->wire_size);
+  if (!rx_delay) {
+    ++stats_.packets_dropped_pipe;
+    return;
+  }
+  sim_.schedule_at(at_switch_out + *rx_delay, [this, packet, &dst] {
+    arrive_at_destination(packet, dst);
+  });
+}
+
+void Network::arrive_at_destination(std::shared_ptr<Packet> packet,
+                                    Host& dst) {
+  const auto match = dst.firewall().classify(packet->src, packet->dst,
+                                             ipfw::RuleDir::kIn);
+  if (match.denied) {
+    ++stats_.packets_dropped_fw;
+    return;
+  }
+  const Duration cpu_delay = dst.charge_cpu(dst.firewall().scan_cost(match) +
+                                            dst.config().packet_cpu_cost);
+  auto continue_path = [this, packet, &dst, pipes = match.pipes]() mutable {
+    pass_pipes(packet, dst.firewall(), std::move(pipes), 0,
+               [this, packet] { deliver(packet); });
+  };
+  if (cpu_delay == Duration::zero()) {
+    continue_path();
+  } else {
+    sim_.schedule_after(cpu_delay, std::move(continue_path));
+  }
+}
+
+void Network::deliver(std::shared_ptr<Packet> packet) {
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += packet->wire_size.count_bytes();
+  if (packet->on_deliver) {
+    auto cb = std::move(packet->on_deliver);
+    cb(std::move(*packet));
+  } else {
+    P2PLAB_LOG_DEBUG("packet to %s:%u had no deliver handler",
+                     packet->dst.to_string().c_str(), packet->dst_port);
+  }
+}
+
+void Network::pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
+                         std::vector<ipfw::PipeId> pipes, size_t index,
+                         std::function<void()> done) {
+  if (index >= pipes.size()) {
+    done();
+    return;
+  }
+  const ipfw::PipeId id = pipes[index];
+  fw.pipe(id).enqueue(ipfw::Pipe::Segment{
+      .size = packet->wire_size,
+      .flow = packet->flow,
+      .on_exit =
+          [this, packet, &fw, pipes = std::move(pipes), index,
+           done = std::move(done)]() mutable {
+            pass_pipes(packet, fw, std::move(pipes), index + 1,
+                       std::move(done));
+          },
+      .on_drop = [this] { ++stats_.packets_dropped_pipe; }});
+}
+
+}  // namespace p2plab::net

@@ -1,0 +1,57 @@
+// The unit of traffic through the emulated network.
+//
+// A Packet models one transport segment (up to a whole application message;
+// the pipes serialize it proportionally to wire_size, which approximates a
+// burst of MTU-sized frames back to back). Delivery is a closure carried by
+// the packet itself: the simulation has no global demultiplexer at this
+// layer — the sockets layer installs one per port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/ipv4.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "ipfw/pipe.hpp"
+
+namespace p2plab::net {
+
+/// Transport-level packet kinds; opaque to the network layer.
+enum class PacketKind : std::uint8_t {
+  kDatagram = 0,  // fire-and-forget (ping probes, raw sends)
+  kSyn,
+  kSynAck,
+  kData,
+  kAck,
+  kFin,
+};
+
+struct Packet {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// Bytes on the wire (payload plus modeled header overhead).
+  DataSize wire_size = DataSize::bytes(64);
+  /// Flow identity for fair queueing within pipes (connection id).
+  ipfw::FlowId flow = 0;
+
+  PacketKind kind = PacketKind::kDatagram;
+  std::uint64_t conn = 0;  // connection id (stream transport)
+  std::uint64_t seq = 0;   // sequence / cumulative-ack number
+
+  /// Application payload, if any. Stored type-erased; the receiving layer
+  /// knows the concrete type from its protocol context.
+  std::shared_ptr<const void> body;
+
+  /// Invoked at the destination host once the packet has traversed the
+  /// full emulated path. Not invoked for dropped packets.
+  std::function<void(Packet&&)> on_deliver;
+
+  /// Stamped by Network::send; used for RTT estimation and diagnostics.
+  SimTime sent_at;
+};
+
+}  // namespace p2plab::net

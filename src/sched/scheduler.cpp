@@ -1,0 +1,265 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace p2plab::sched {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBsd4: return "4BSD";
+    case SchedulerKind::kUle: return "ULE";
+    case SchedulerKind::kUleFreebsd5: return "ULE-FreeBSD5";
+    case SchedulerKind::kLinuxOne: return "Linux-2.6";
+  }
+  return "?";
+}
+
+SchedulerTraits SchedulerTraits::for_kind(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBsd4:
+      return {.context_switch = Duration::us(5),
+              .batch_fixed_cost = Duration::ms(35),
+              .slice_bias_spread = 0.0,
+              .privileged_chance = 0.0,
+              .per_cpu_queues = false,
+              .steal_on_idle = true,
+              .vm_thrash_factor = 10.0};
+    case SchedulerKind::kUle:
+      return {.context_switch = Duration::us(6),
+              .batch_fixed_cost = Duration::ms(38),
+              .slice_bias_spread = 0.15,
+              .privileged_chance = 0.0,
+              .per_cpu_queues = true,
+              .steal_on_idle = true,
+              .vm_thrash_factor = 10.0};
+    case SchedulerKind::kUleFreebsd5:
+      return {.context_switch = Duration::us(6),
+              .batch_fixed_cost = Duration::ms(38),
+              .slice_bias_spread = 0.15,
+              .privileged_chance = 0.05,
+              .per_cpu_queues = true,
+              .steal_on_idle = false,
+              .vm_thrash_factor = 10.0};
+    case SchedulerKind::kLinuxOne:
+      return {.context_switch = Duration::us(4),
+              .batch_fixed_cost = Duration::ms(30),
+              .slice_bias_spread = 0.0,
+              .privileged_chance = 0.0,
+              .per_cpu_queues = false,
+              .steal_on_idle = true,
+              .vm_thrash_factor = 0.3};
+  }
+  P2PLAB_ASSERT_MSG(false, "unknown scheduler kind");
+}
+
+double RunResult::avg_normalized_time_sec(Duration batch_fixed_cost) const {
+  P2PLAB_ASSERT(!procs.empty());
+  double total = 0.0;
+  for (const ProcResult& p : procs) {
+    total += (p.cpu_occupied + p.overhead).to_seconds();
+  }
+  const double n = static_cast<double>(procs.size());
+  return total / n + batch_fixed_cost.to_seconds() / n;
+}
+
+CpuHost::CpuHost(HostConfig config)
+    : config_(config), traits_(SchedulerTraits::for_kind(config.kind)) {
+  P2PLAB_ASSERT(config_.n_cpus >= 1);
+  P2PLAB_ASSERT(config_.quantum > Duration::zero());
+  P2PLAB_ASSERT(config_.ram > config_.os_reserved);
+}
+
+namespace {
+
+struct Proc {
+  size_t spec_index = 0;
+  double remaining_work_sec = 0.0;
+  double weight = 1.0;   // persistent CPU-share bias (ULE quantization)
+  std::uint64_t wss_bytes = 0;
+  SimTime spawn;
+  SimTime available_at;  // a process cannot run two slices concurrently
+  bool started = false;
+  ProcResult result;
+};
+
+}  // namespace
+
+RunResult CpuHost::run(std::span<const ProcSpec> specs) {
+  RunResult out;
+  if (specs.empty()) return out;
+
+  Rng rng(config_.seed);
+  const int n_cpus = config_.n_cpus;
+  const double usable_ram_bytes = static_cast<double>(
+      (config_.ram - config_.os_reserved).count_bytes());
+
+  // --- build processes -----------------------------------------------------
+  std::vector<Proc> procs(specs.size());
+  // Spawn order sorted by time; ties keep spec order (the paper starts
+  // instances from a high-priority launcher, which serializes spawns).
+  std::vector<size_t> spawn_order(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) spawn_order[i] = i;
+  std::stable_sort(spawn_order.begin(), spawn_order.end(),
+                   [&](size_t a, size_t b) {
+                     return specs[a].spawn_time < specs[b].spawn_time;
+                   });
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Proc& p = procs[i];
+    p.spec_index = i;
+    double work = specs[i].work.to_seconds();
+    if (config_.work_noise > 0.0) {
+      work *= std::max(0.5, rng.normal(1.0, config_.work_noise));
+    }
+    p.remaining_work_sec = work;
+    p.weight = 1.0;
+    if (traits_.slice_bias_spread > 0.0) {
+      p.weight += rng.uniform_double(-traits_.slice_bias_spread,
+                                     traits_.slice_bias_spread);
+    }
+    if (traits_.privileged_chance > 0.0 &&
+        rng.chance(traits_.privileged_chance)) {
+      p.weight *= 3.0;  // FreeBSD 5 ULE: some processes excessively favored
+    }
+    p.wss_bytes = specs[i].working_set.count_bytes();
+    p.spawn = specs[i].spawn_time;
+    p.result.spawn = p.spawn;
+    p.result.initial_cpu =
+        traits_.per_cpu_queues ? static_cast<int>(rng.uniform(
+                                     static_cast<std::uint64_t>(n_cpus)))
+                               : 0;
+  }
+
+  // --- run queues ----------------------------------------------------------
+  // With a global queue, all CPUs share queue 0.
+  const size_t n_queues =
+      traits_.per_cpu_queues ? static_cast<size_t>(n_cpus) : 1;
+  std::vector<std::deque<size_t>> queues(n_queues);
+  auto queue_of_cpu = [&](int cpu) -> std::deque<size_t>& {
+    return queues[traits_.per_cpu_queues ? static_cast<size_t>(cpu) : 0];
+  };
+
+  std::vector<SimTime> cpu_time(static_cast<size_t>(n_cpus), SimTime::zero());
+  size_t next_spawn = 0;     // index into spawn_order
+  size_t remaining = specs.size();
+  double active_wss_bytes = 0.0;  // working set of spawned, unfinished procs
+
+  auto admit_up_to = [&](SimTime t) {
+    while (next_spawn < spawn_order.size() &&
+           procs[spawn_order[next_spawn]].spawn <= t) {
+      Proc& p = procs[spawn_order[next_spawn]];
+      queue_of_cpu(p.result.initial_cpu).push_back(spawn_order[next_spawn]);
+      active_wss_bytes += static_cast<double>(p.wss_bytes);
+      ++next_spawn;
+    }
+  };
+
+  auto thrash_factor = [&]() -> double {
+    const double over = active_wss_bytes / usable_ram_bytes;
+    if (over <= 1.0) return 1.0;
+    return 1.0 + traits_.vm_thrash_factor * (over - 1.0);
+  };
+
+  auto try_steal = [&](int cpu) -> bool {
+    // Move half of the longest queue to this CPU's (empty) queue.
+    size_t longest = n_queues;
+    size_t longest_size = 1;  // need at least 2 to be worth stealing from
+    for (size_t q = 0; q < n_queues; ++q) {
+      if (queues[q].size() > longest_size) {
+        longest = q;
+        longest_size = queues[q].size();
+      }
+    }
+    if (longest == n_queues) return false;
+    auto& own = queue_of_cpu(cpu);
+    const size_t take = longest_size / 2;
+    for (size_t i = 0; i < take; ++i) {
+      own.push_back(queues[longest].back());
+      queues[longest].pop_back();
+    }
+    return take > 0;
+  };
+
+  // --- main loop: always advance the CPU with the earliest local clock ----
+  while (remaining > 0) {
+    int cpu = 0;
+    for (int c = 1; c < n_cpus; ++c) {
+      if (cpu_time[static_cast<size_t>(c)] < cpu_time[static_cast<size_t>(cpu)]) {
+        cpu = c;
+      }
+    }
+    SimTime& t = cpu_time[static_cast<size_t>(cpu)];
+    admit_up_to(t);
+
+    auto& queue = queue_of_cpu(cpu);
+    if (queue.empty()) {
+      bool stole = false;
+      if (traits_.per_cpu_queues && traits_.steal_on_idle) stole = try_steal(cpu);
+      if (!stole && queue.empty()) {
+        if (next_spawn < spawn_order.size()) {
+          // Idle until the next process appears.
+          t = std::max(t, procs[spawn_order[next_spawn]].spawn);
+          continue;
+        }
+        // Nothing to run and nothing will spawn: park this CPU past every
+        // other CPU so it is never selected again.
+        SimTime latest = t;
+        for (int c = 0; c < n_cpus; ++c) {
+          latest = std::max(latest, cpu_time[static_cast<size_t>(c)]);
+        }
+        t = latest + config_.quantum;
+        continue;
+      }
+    }
+
+    const size_t pi = queue.front();
+    queue.pop_front();
+    Proc& p = procs[pi];
+    // A process requeued by another CPU is not runnable until its previous
+    // slice (observed on that CPU's clock) has ended on the wall clock;
+    // without this, two CPUs would execute the same process concurrently.
+    t = std::max(t, p.available_at);
+    if (!p.started) {
+      p.started = true;
+      p.result.first_run = t;
+    }
+
+    const double slowdown = thrash_factor();
+    const double nominal_slice = config_.quantum.to_seconds() * p.weight;
+    const double wall_to_finish = p.remaining_work_sec * slowdown;
+    const double slice_wall = std::min(nominal_slice, wall_to_finish);
+    p.remaining_work_sec -= slice_wall / slowdown;
+    p.result.cpu_occupied += Duration::seconds(slice_wall);
+    t += Duration::seconds(slice_wall);
+
+    if (p.remaining_work_sec <= 1e-12) {
+      p.result.finish = t;
+      active_wss_bytes -= static_cast<double>(p.wss_bytes);
+      --remaining;
+    } else {
+      queue.push_back(pi);
+    }
+    // Context switch at every slice boundary.
+    p.result.overhead += traits_.context_switch;
+    t += traits_.context_switch;
+    p.available_at = t;
+    ++out.context_switches;
+  }
+
+  out.procs.reserve(procs.size());
+  SimTime first_spawn = SimTime::max();
+  SimTime last_finish = SimTime::zero();
+  for (const Proc& p : procs) {
+    out.procs.push_back(p.result);
+    first_spawn = std::min(first_spawn, p.result.spawn);
+    last_finish = std::max(last_finish, p.result.finish);
+  }
+  out.makespan = last_finish - first_spawn;
+  return out;
+}
+
+}  // namespace p2plab::sched

@@ -1,0 +1,118 @@
+// CPU scheduler models for the platform-suitability study.
+//
+// The paper evaluates whether FreeBSD can host hundreds of virtual nodes by
+// measuring (a) per-process execution time vs. process count for CPU-bound
+// work (Fig 1), (b) the same under memory pressure where FreeBSD's VM
+// thrashes once swap is needed while Linux 2.6 does not (Fig 2), and
+// (c) fairness as the CDF of completion times of 100 identical processes
+// (Fig 3: 4BSD and Linux are tight; ULE shows a wide spread; FreeBSD 5's
+// ULE was pathologically unfair, fixed in FreeBSD 6).
+//
+// We model the *mechanisms* that produce those macroscopic shapes:
+//   - Bsd4      : single global round-robin run queue -> near-perfect
+//                 fairness across identical processes.
+//   - LinuxOne  : O(1)-style scheduler; globally balanced, cheap context
+//                 switches -> also tight.
+//   - Ule       : per-CPU run queues, work-stealing only when a CPU idles,
+//                 and interactivity-score quantization that gives each
+//                 process a persistent slice-length bias -> the smooth
+//                 completion-time spread of Figure 3.
+//   - UleFreebsd5: no stealing at all plus occasional pathologically
+//                 privileged processes (the behaviour reported in the
+//                 authors' earlier Hot-P2P paper, reference [12]).
+//
+// Memory model: when the aggregate working set of active processes exceeds
+// usable RAM, progress is divided by a thrash factor that grows linearly in
+// the overcommit ratio; the growth constant is an order of magnitude larger
+// for the FreeBSD-style VM than for the Linux-style VM (Fig 2's contrast).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace p2plab::sched {
+
+enum class SchedulerKind { kBsd4, kUle, kUleFreebsd5, kLinuxOne };
+
+const char* to_string(SchedulerKind kind);
+
+/// Per-scheduler cost/behaviour constants; defaults are the calibration
+/// described in DESIGN.md §6.
+struct SchedulerTraits {
+  Duration context_switch;   // charged on every slice boundary
+  Duration batch_fixed_cost; // per-batch harness cost, amortized over n
+  double slice_bias_spread;  // +/- fraction of persistent per-proc CPU bias
+  double privileged_chance;  // probability a proc is pathologically favored
+  bool per_cpu_queues;       // per-CPU run queues (vs one global queue)
+  bool steal_on_idle;        // idle CPUs steal from the longest queue
+  double vm_thrash_factor;   // slowdown slope per unit of memory overcommit
+
+  static SchedulerTraits for_kind(SchedulerKind kind);
+};
+
+/// One process to run: pure CPU demand when run alone, and its working set.
+struct ProcSpec {
+  Duration work = Duration::sec(1);
+  DataSize working_set = DataSize::zero();
+  SimTime spawn_time = SimTime::zero();
+};
+
+/// Outcome for one process.
+struct ProcResult {
+  SimTime spawn;
+  SimTime first_run;
+  SimTime finish;
+  Duration cpu_occupied;  // wall time spent holding a CPU (work + thrash)
+  Duration overhead;      // context-switch time charged to this process
+  int initial_cpu = 0;
+};
+
+struct RunResult {
+  std::vector<ProcResult> procs;
+  Duration makespan = Duration::zero();
+  std::uint64_t context_switches = 0;
+
+  /// The paper's Figure 1/2 metric: average per-process execution time,
+  /// i.e. CPU time consumed per process plus the batch-fixed cost amortized
+  /// over the batch — flat in n when the scheduler scales, rising when the
+  /// VM thrashes.
+  double avg_normalized_time_sec(Duration batch_fixed_cost) const;
+};
+
+struct HostConfig {
+  int n_cpus = 2;                          // GridExplorer: Dual-Opteron
+  DataSize ram = DataSize::mib(2048);      // 2 GB per node
+  DataSize os_reserved = DataSize::mib(200);
+  Duration quantum = Duration::ms(10);
+  SchedulerKind kind = SchedulerKind::kBsd4;
+  std::uint64_t seed = 1;
+  /// Per-process multiplicative work noise (std-dev fraction); models the
+  /// real run-to-run variance of the benchmark program.
+  double work_noise = 0.0;
+};
+
+/// A closed simulation of one multi-CPU host running a batch of processes
+/// under one scheduler model. Independent from the network simulation: the
+/// scheduler study is a standalone experiment in the paper as well.
+class CpuHost {
+ public:
+  explicit CpuHost(HostConfig config);
+
+  const HostConfig& config() const { return config_; }
+  const SchedulerTraits& traits() const { return traits_; }
+
+  /// Run the batch to completion and report per-process results in spec
+  /// order.
+  RunResult run(std::span<const ProcSpec> specs);
+
+ private:
+  HostConfig config_;
+  SchedulerTraits traits_;
+};
+
+}  // namespace p2plab::sched

@@ -1,0 +1,34 @@
+// Application messages carried by stream sockets.
+//
+// The emulation exchanges *typed* messages instead of raw byte buffers:
+// `size` is what goes on the wire (the pipes serialize it), `body` is the
+// in-memory payload handed to the receiving application. This keeps the
+// 5760-node runs affordable — no payload bytes are copied through the
+// simulated network — while preserving exact byte accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+
+namespace p2plab::sockets {
+
+struct Message {
+  /// Application-level tag (protocol message id); opaque to the transport.
+  std::uint32_t type = 0;
+  /// Application payload bytes on the wire.
+  DataSize size = DataSize::zero();
+  /// In-memory payload; the receiver knows the concrete type from `type`.
+  std::shared_ptr<const void> body;
+
+  template <typename T>
+  const T& as() const {
+    return *static_cast<const T*>(body.get());
+  }
+};
+
+/// Modeled per-segment header overhead (TCP/IP headers).
+inline constexpr std::uint64_t kHeaderBytes = 40;
+
+}  // namespace p2plab::sockets

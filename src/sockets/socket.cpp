@@ -1,0 +1,623 @@
+#include "sockets/socket.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace p2plab::sockets {
+
+// ---------------------------------------------------------------- manager
+
+SocketManager::SocketManager(net::Network& network,
+                             vnode::Interceptor interceptor,
+                             StreamConfig config)
+    : network_(network), interceptor_(interceptor), config_(config) {}
+
+std::uint16_t SocketManager::alloc_ephemeral_port(Ipv4Addr addr,
+                                                  Proto proto) {
+  std::uint16_t& next =
+      next_ephemeral_[(std::uint64_t{addr.to_u32()} << 1) |
+                      static_cast<std::uint64_t>(proto)];
+  if (next == 0) next = 49152;
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const std::uint16_t candidate = next;
+    next = (next >= 65535) ? 49152 : static_cast<std::uint16_t>(next + 1);
+    if (endpoints_.find(key(addr, candidate, proto)) == endpoints_.end()) {
+      return candidate;
+    }
+  }
+  P2PLAB_ASSERT_MSG(false, "ephemeral port space exhausted");
+}
+
+void SocketManager::bind_endpoint(Ipv4Addr addr, std::uint16_t port,
+                                  Endpoint* endpoint, Proto proto) {
+  const auto [it, inserted] =
+      endpoints_.emplace(key(addr, port, proto), endpoint);
+  P2PLAB_ASSERT_MSG(inserted, "port already bound");
+  (void)it;
+}
+
+void SocketManager::unbind_endpoint(Ipv4Addr addr, std::uint16_t port,
+                                    Proto proto) {
+  endpoints_.erase(key(addr, port, proto));
+}
+
+SocketManager::Endpoint* SocketManager::endpoint_at(Ipv4Addr addr,
+                                                    std::uint16_t port,
+                                                    Proto proto) {
+  const auto it = endpoints_.find(key(addr, port, proto));
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void SocketManager::dispatch(net::Packet&& packet) {
+  const Proto proto = packet.kind == net::PacketKind::kDatagram
+                          ? Proto::kUdp
+                          : Proto::kTcp;
+  Endpoint* endpoint = endpoint_at(packet.dst, packet.dst_port, proto);
+  if (endpoint == nullptr) {
+    // Connection torn down while the packet was in flight; like a RST-less
+    // drop, the peer recovers via timeout or FIN.
+    return;
+  }
+  endpoint->handle_packet(std::move(packet));
+}
+
+// ----------------------------------------------------------------- socket
+
+StreamSocket::StreamSocket(SocketManager& mgr, net::Host& host)
+    : mgr_(mgr), host_(host) {}
+
+StreamSocket::~StreamSocket() {
+  if (state_ != State::kClosed) teardown();
+}
+
+void StreamSocket::start_connect(
+    Ipv4Addr local, std::uint16_t local_port, Ipv4Addr remote,
+    std::uint16_t remote_port, std::function<void(StreamSocketPtr)> on_connected,
+    VoidHandler on_fail) {
+  local_ip_ = local;
+  local_port_ = local_port;
+  remote_ip_ = remote;
+  remote_port_ = remote_port;
+  conn_id_ = mgr_.next_conn_id();
+  on_connected_ = std::move(on_connected);
+  on_connect_fail_ = std::move(on_fail);
+  state_ = State::kSynSent;
+  // Like a kernel socket, the connection owns itself until teardown: data
+  // queued by an application that drops its reference still flushes.
+  self_ref_ = shared_from_this();
+  // Client sockets own their demux entry; teardown unbinds it.
+  mgr_.bind_endpoint(local_ip_, local_port_, this);
+  on_teardown_ = [this] { mgr_.unbind_endpoint(local_ip_, local_port_); };
+  send_syn();
+}
+
+void StreamSocket::start_accepted(Ipv4Addr local, std::uint16_t local_port,
+                                  Ipv4Addr remote, std::uint16_t remote_port,
+                                  std::uint64_t conn_id) {
+  local_ip_ = local;
+  local_port_ = local_port;
+  remote_ip_ = remote;
+  remote_port_ = remote_port;
+  conn_id_ = conn_id;
+  state_ = State::kSynReceived;
+  // Demux happens through the listener; on_teardown_ is set by it.
+}
+
+void StreamSocket::send(Message message) {
+  if (state_ == State::kClosed) return;
+  const Duration cpu =
+      host_.charge_cpu(mgr_.interceptor().costs().sys_send);
+  pending_bytes_ += message.size.count_bytes();
+  pending_.push_back(std::move(message));
+  if (cpu == Duration::zero()) {
+    pump();
+  } else {
+    std::weak_ptr<StreamSocket> weak = weak_from_this();
+    mgr_.sim().schedule_after(cpu, [weak] {
+      if (auto self = weak.lock()) self->pump();
+    });
+  }
+}
+
+void StreamSocket::close() {
+  if (state_ == State::kClosed) return;
+  if (state_ != State::kSynSent) {
+    send_control(net::PacketKind::kFin, 0);
+  }
+  teardown();
+}
+
+void StreamSocket::teardown() {
+  // Moving the self-reference out may make `this` expire at scope end —
+  // after every member access below.
+  StreamSocketPtr keep = std::move(self_ref_);
+  state_ = State::kClosed;
+  pending_.clear();
+  pending_bytes_ = 0;
+  inflight_.clear();
+  inflight_bytes_ = 0;
+  reorder_.clear();
+  if (on_teardown_) {
+    auto cb = std::move(on_teardown_);
+    on_teardown_ = nullptr;
+    cb();
+  }
+}
+
+void StreamSocket::pump() {
+  if (state_ != State::kEstablished && state_ != State::kSynReceived) return;
+  bool sent = false;
+  while (!pending_.empty() &&
+         inflight_bytes_ < mgr_.stream_config().send_window.count_bytes()) {
+    Message message = std::move(pending_.front());
+    pending_.pop_front();
+    pending_bytes_ -= message.size.count_bytes();
+    const std::uint64_t seq = next_seq_++;
+    inflight_bytes_ += message.size.count_bytes();
+    inflight_.push_back(InFlight{seq, message, mgr_.sim().now(), false});
+    transmit_data(seq, message);
+    sent = true;
+  }
+  if (sent && !inflight_.empty()) {
+    arm_timer(inflight_.front().sent_at + rto());
+  }
+}
+
+void StreamSocket::transmit_data(std::uint64_t seq, const Message& message) {
+  bytes_sent_ += message.size.count_bytes();
+  net::Packet packet;
+  packet.src = local_ip_;
+  packet.dst = remote_ip_;
+  packet.src_port = local_port_;
+  packet.dst_port = remote_port_;
+  packet.wire_size =
+      DataSize::bytes(message.size.count_bytes() + kHeaderBytes);
+  packet.flow = conn_id_;
+  packet.kind = net::PacketKind::kData;
+  packet.conn = conn_id_;
+  packet.seq = seq;
+  packet.body = std::make_shared<Message>(message);
+  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
+    mgr->dispatch(std::move(p));
+  };
+  mgr_.network().send(std::move(packet));
+}
+
+void StreamSocket::send_control(net::PacketKind kind, std::uint64_t seq,
+                                DataSize wire_size) {
+  net::Packet packet;
+  packet.src = local_ip_;
+  packet.dst = remote_ip_;
+  packet.src_port = local_port_;
+  packet.dst_port = remote_port_;
+  packet.wire_size = wire_size;
+  // Control segments ride a sibling flow: inside the Dummynet pipes they
+  // round-robin *against* this connection's data instead of queueing
+  // behind it. A 40 B ACK stuck behind 16 KiB of our own outgoing pieces
+  // would throttle every mutual (tit-for-tat) edge to stop-and-wait.
+  packet.flow = conn_id_ | (std::uint64_t{1} << 63);
+  packet.kind = kind;
+  packet.conn = conn_id_;
+  packet.seq = seq;
+  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
+    mgr->dispatch(std::move(p));
+  };
+  mgr_.network().send(std::move(packet));
+}
+
+void StreamSocket::send_syn() {
+  syn_sent_at_ = mgr_.sim().now();
+  send_control(net::PacketKind::kSyn, 0, DataSize::bytes(64));
+  arm_timer(syn_sent_at_ + rto());
+}
+
+void StreamSocket::send_ack() {
+  send_control(net::PacketKind::kAck, expected_seq_);
+}
+
+void StreamSocket::handle_packet(net::Packet&& packet) {
+  if (state_ == State::kClosed) return;
+  // Teardown paths (FIN, connect failure) may drop the last owning
+  // reference while we are still executing.
+  StreamSocketPtr guard = shared_from_this();
+  switch (packet.kind) {
+    case net::PacketKind::kSynAck:
+      if (state_ == State::kSynSent) {
+        // Prime the estimator with the handshake sample but keep the
+        // conservative initial RTO until a *data* segment is acked: a 64 B
+        // SYN says nothing about the serialization delay of full messages,
+        // and an under-estimated first RTO retransmits the whole opening
+        // window.
+        const Duration sample = mgr_.sim().now() - syn_sent_at_;
+        srtt_s_ = sample.to_seconds();
+        rttvar_s_ = srtt_s_ / 2.0;
+        state_ = State::kEstablished;
+        if (on_connected_) {
+          auto cb = std::move(on_connected_);
+          on_connected_ = nullptr;
+          cb(shared_from_this());
+        }
+        // Data that overtook the SYN-ACK (control packets ride a separate
+        // pipe flow) was parked in the reorder buffer; deliver it now that
+        // the application handler is attached.
+        deliver_in_order();
+        send_ack();
+        pump();
+      } else {
+        send_ack();  // duplicate SYN-ACK: our ACK was lost
+      }
+      break;
+    case net::PacketKind::kData:
+      if (state_ == State::kSynSent) {
+        // Handshake not complete on our side yet: park the payload until
+        // the SYN-ACK arrives (see the kSynAck case).
+        if (reorder_.size() < mgr_.stream_config().max_reorder_buffer) {
+          reorder_.emplace(packet.seq,
+                           *static_cast<const Message*>(packet.body.get()));
+        }
+        break;
+      }
+      if (state_ == State::kSynReceived) promote_established();
+      on_data(std::move(packet));
+      break;
+    case net::PacketKind::kAck:
+      if (state_ == State::kSynReceived) promote_established();
+      on_ack(packet.seq);
+      break;
+    case net::PacketKind::kFin: {
+      teardown();
+      if (on_close_) {
+        auto handler = on_close_;
+        handler();
+      }
+      break;
+    }
+    case net::PacketKind::kSyn:
+    case net::PacketKind::kDatagram:
+      break;  // not meaningful on an established socket
+  }
+}
+
+void StreamSocket::promote_established() {
+  if (state_ == State::kSynReceived) {
+    state_ = State::kEstablished;
+    pump();
+  }
+}
+
+void StreamSocket::on_data(net::Packet&& packet) {
+  const std::uint64_t seq = packet.seq;
+  if (seq < expected_seq_) {
+    send_ack();  // duplicate; re-ack so the sender advances
+    return;
+  }
+  if (seq > expected_seq_) {
+    if (reorder_.size() < mgr_.stream_config().max_reorder_buffer) {
+      reorder_.emplace(seq, *static_cast<const Message*>(packet.body.get()));
+    }
+    send_ack();  // dup-ack carrying the hole
+    return;
+  }
+  Message message = *static_cast<const Message*>(packet.body.get());
+  ++expected_seq_;
+  bytes_received_ += message.size.count_bytes();
+  if (on_message_) {
+    // Invoke through a copy: the handler may replace or clear itself
+    // (e.g. an application tearing the connection down mid-dispatch).
+    auto handler = on_message_;
+    handler(std::move(message));
+  }
+  deliver_in_order();
+  send_ack();
+}
+
+void StreamSocket::deliver_in_order() {
+  auto it = reorder_.begin();
+  while (it != reorder_.end() && it->first == expected_seq_) {
+    Message message = std::move(it->second);
+    it = reorder_.erase(it);
+    ++expected_seq_;
+    bytes_received_ += message.size.count_bytes();
+    if (on_message_) {
+      auto handler = on_message_;
+      handler(std::move(message));
+    }
+  }
+}
+
+void StreamSocket::on_ack(std::uint64_t cumulative) {
+  bool progressed = false;
+  bool rtt_sample_valid = false;
+  SimTime sample_sent_at;
+  while (!inflight_.empty() && inflight_.front().seq < cumulative) {
+    const InFlight& entry = inflight_.front();
+    inflight_bytes_ -= entry.message.size.count_bytes();
+    if (!entry.retransmitted) {  // Karn's rule
+      rtt_sample_valid = true;
+      sample_sent_at = entry.sent_at;
+    }
+    inflight_.pop_front();
+    progressed = true;
+  }
+  if (progressed) {
+    // Only a clean (never-retransmitted) sample proves the current RTO is
+    // adequate; resetting the backoff on *any* progress would let a
+    // spurious-retransmission cycle sustain itself (Karn's rule blocks the
+    // samples that would otherwise raise the estimate).
+    if (rtt_sample_valid) {
+      backoff_ = 0;
+      consecutive_timeouts_ = 0;
+    }
+    last_progress_ = mgr_.sim().now();
+    if (rtt_sample_valid) observe_rtt(mgr_.sim().now() - sample_sent_at);
+    pump();
+    if (!inflight_.empty()) {
+      arm_timer(inflight_.front().sent_at + rto());
+    }
+    if (on_writable_ && unsent_bytes() <= writable_watermark_) {
+      auto handler = on_writable_;  // may replace itself
+      handler();
+    }
+  }
+  if (!progressed) {
+    // Duplicate ack: the receiver saw something out of order or redundant;
+    // no action needed — recovery is timeout-driven.
+    return;
+  }
+}
+
+Duration StreamSocket::rto() const {
+  const StreamConfig& cfg = mgr_.stream_config();
+  Duration base = cfg.initial_rto;
+  if (have_rtt_) {
+    base = Duration::seconds(srtt_s_ + 4.0 * rttvar_s_);
+    base = std::clamp(base, cfg.min_rto, cfg.max_rto);
+  }
+  for (int i = 0; i < backoff_; ++i) {
+    base = base * 2;
+    if (base >= cfg.max_rto) return cfg.max_rto;
+  }
+  return base;
+}
+
+void StreamSocket::observe_rtt(Duration sample) {
+  const double s = sample.to_seconds();
+  if (!have_rtt_ || s > 4.0 * srtt_s_) {
+    // First sample, or a regime change (e.g. from 64 B handshake RTTs to
+    // multi-second serialization of full messages): restart the estimator
+    // rather than converge over dozens of samples.
+    srtt_s_ = s;
+    rttvar_s_ = s / 2.0;
+    have_rtt_ = true;
+    return;
+  }
+  rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - s);
+  srtt_s_ = 0.875 * srtt_s_ + 0.125 * s;
+}
+
+void StreamSocket::arm_timer(SimTime due) {
+  // The due time can already be in the past (e.g. the new oldest in-flight
+  // segment was sent long ago); fire on the next tick instead.
+  due = std::max(due, mgr_.sim().now());
+  if (timer_armed_ && armed_until_ <= due) return;
+  timer_armed_ = true;
+  armed_until_ = due;
+  std::weak_ptr<StreamSocket> weak = weak_from_this();
+  mgr_.sim().schedule_at(due, [weak, due] {
+    auto self = weak.lock();
+    if (!self) return;
+    if (!self->timer_armed_ || self->armed_until_ != due) return;  // stale
+    self->timer_armed_ = false;
+    self->timer_fired();
+  });
+}
+
+void StreamSocket::timer_fired() {
+  if (state_ == State::kClosed) return;
+  const SimTime now = mgr_.sim().now();
+
+  if (state_ == State::kSynSent) {
+    const SimTime due = syn_sent_at_ + rto();
+    if (now < due) {
+      arm_timer(due);
+      return;
+    }
+    if (++syn_retries_ > mgr_.stream_config().max_syn_retries) {
+      auto fail = std::move(on_connect_fail_);
+      teardown();
+      if (fail) fail();
+      return;
+    }
+    ++backoff_;
+    send_syn();
+    return;
+  }
+
+  if (inflight_.empty()) return;  // everything acked; stay disarmed
+  const SimTime base = std::max(inflight_.front().sent_at, last_progress_);
+  const SimTime due = base + rto();
+  if (now < due) {
+    arm_timer(due);
+    return;
+  }
+  if (++consecutive_timeouts_ > mgr_.stream_config().max_retransmit_timeouts) {
+    // The peer is unreachable: abort like ETIMEDOUT.
+    teardown();
+    if (on_close_) {
+      auto handler = on_close_;
+      handler();
+    }
+    return;
+  }
+  // Go-back-N: retransmit the whole window.
+  ++backoff_;
+  if (backoff_ > 8) backoff_ = 8;
+  for (InFlight& entry : inflight_) {
+    entry.sent_at = now;
+    entry.retransmitted = true;
+    bytes_sent_ -= entry.message.size.count_bytes();  // counted again below
+    transmit_data(entry.seq, entry.message);
+  }
+  arm_timer(now + rto());
+}
+
+// --------------------------------------------------------------- listener
+
+Listener::Listener(SocketManager& mgr, net::Host& host, Ipv4Addr ip,
+                   std::uint16_t port, AcceptHandler on_accept)
+    : mgr_(mgr),
+      host_(host),
+      local_ip_(ip),
+      local_port_(port),
+      on_accept_(std::move(on_accept)) {
+  mgr_.bind_endpoint(local_ip_, local_port_, this);
+}
+
+Listener::~Listener() { mgr_.unbind_endpoint(local_ip_, local_port_); }
+
+void Listener::handle_packet(net::Packet&& packet) {
+  const std::uint64_t key = conn_key(packet.src, packet.src_port);
+  if (packet.kind == net::PacketKind::kSyn) {
+    const auto existing = conns_.find(key);
+    if (existing != conns_.end()) {
+      // Duplicate SYN: our SYN-ACK was lost; resend it.
+      existing->second->send_control(net::PacketKind::kSynAck, 0,
+                                     DataSize::bytes(64));
+      return;
+    }
+    if (!accepting_) return;
+    host_.charge_cpu(mgr_.interceptor().costs().sys_accept);
+    StreamSocketPtr socket{new StreamSocket(mgr_, host_)};
+    socket->start_accepted(local_ip_, local_port_, packet.src,
+                           packet.src_port, packet.conn);
+    std::weak_ptr<Listener> weak = weak_from_this();
+    socket->on_teardown_ = [weak, key] {
+      if (auto self = weak.lock()) self->conns_.erase(key);
+    };
+    conns_.emplace(key, socket);
+    socket->send_control(net::PacketKind::kSynAck, 0, DataSize::bytes(64));
+    if (on_accept_) on_accept_(socket);
+    return;
+  }
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return;  // stale packet for a gone connection
+  // Keep the socket alive through the handler even if it closes itself.
+  StreamSocketPtr socket = it->second;
+  socket->handle_packet(std::move(packet));
+}
+
+// -------------------------------------------------------------------- api
+
+Ipv4Addr SocketApi::effective_bind_address() const {
+  return mgr_.interceptor()
+      .on_connect_or_listen(process_, std::nullopt)
+      .address;
+}
+
+void SocketApi::connect(Ipv4Addr remote, std::uint16_t remote_port,
+                        std::function<void(StreamSocketPtr)> on_connected,
+                        std::function<void()> on_fail) {
+  const auto decision =
+      mgr_.interceptor().on_connect_or_listen(process_, std::nullopt);
+  const auto& costs = mgr_.interceptor().costs();
+  const Duration cpu = process_.host().charge_cpu(
+      costs.sys_socket + costs.sys_connect + decision.added_cost);
+
+  StreamSocketPtr socket{new StreamSocket(mgr_, process_.host())};
+  const Ipv4Addr local = decision.address;
+  const std::uint16_t local_port = mgr_.alloc_ephemeral_port(local);
+  auto begin = [socket, local, local_port, remote, remote_port,
+                cb = std::move(on_connected),
+                fail = std::move(on_fail)]() mutable {
+    socket->start_connect(local, local_port, remote, remote_port,
+                          std::move(cb), std::move(fail));
+  };
+  if (cpu == Duration::zero()) {
+    begin();
+  } else {
+    mgr_.sim().schedule_after(cpu, std::move(begin));
+  }
+}
+
+// ---------------------------------------------------------------- datagram
+
+DatagramSocket::DatagramSocket(SocketManager& mgr, net::Host& host,
+                               Ipv4Addr ip, std::uint16_t port)
+    : mgr_(mgr),
+      host_(host),
+      local_ip_(ip),
+      local_port_(port),
+      flow_(mgr.next_conn_id()) {
+  mgr_.bind_endpoint(local_ip_, local_port_, this, Proto::kUdp);
+}
+
+DatagramSocket::~DatagramSocket() {
+  if (open_) mgr_.unbind_endpoint(local_ip_, local_port_, Proto::kUdp);
+}
+
+void DatagramSocket::close() {
+  if (!open_) return;
+  open_ = false;
+  mgr_.unbind_endpoint(local_ip_, local_port_, Proto::kUdp);
+}
+
+void DatagramSocket::send_to(Ipv4Addr remote, std::uint16_t remote_port,
+                             Message message) {
+  if (!open_) return;
+  host_.charge_cpu(mgr_.interceptor().costs().sys_send);
+  ++sent_;
+  net::Packet packet;
+  packet.src = local_ip_;
+  packet.dst = remote;
+  packet.src_port = local_port_;
+  packet.dst_port = remote_port;
+  packet.wire_size =
+      DataSize::bytes(message.size.count_bytes() + kUdpHeaderBytes);
+  packet.flow = flow_;
+  packet.kind = net::PacketKind::kDatagram;
+  packet.body = std::make_shared<Message>(std::move(message));
+  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
+    mgr->dispatch(std::move(p));
+  };
+  mgr_.network().send(std::move(packet));
+}
+
+void DatagramSocket::handle_packet(net::Packet&& packet) {
+  if (!open_) return;
+  ++received_;
+  if (!handler_) return;
+  Message message = *static_cast<const Message*>(packet.body.get());
+  auto handler = handler_;  // may replace itself mid-dispatch
+  handler(std::move(message), packet.src, packet.src_port);
+}
+
+ListenerPtr SocketApi::listen(std::uint16_t port,
+                              Listener::AcceptHandler on_accept) {
+  const auto decision =
+      mgr_.interceptor().on_connect_or_listen(process_, std::nullopt);
+  const auto& costs = mgr_.interceptor().costs();
+  process_.host().charge_cpu(costs.sys_socket + costs.sys_listen +
+                             decision.added_cost);
+  return ListenerPtr{new Listener(mgr_, process_.host(), decision.address,
+                                  port, std::move(on_accept))};
+}
+
+DatagramSocketPtr SocketApi::udp_bind(std::uint16_t port) {
+  // Explicit bind(): the interception layer rewrites the address to
+  // $BINDIP (the "similar approach is possible for UDP" of the paper).
+  const auto decision = mgr_.interceptor().on_bind(
+      process_, process_.host().admin_ip());
+  const auto& costs = mgr_.interceptor().costs();
+  process_.host().charge_cpu(costs.sys_socket + costs.sys_bind +
+                             decision.added_cost);
+  const Ipv4Addr local = decision.address;
+  const std::uint16_t bound =
+      port != 0 ? port : mgr_.alloc_ephemeral_port(local, Proto::kUdp);
+  return DatagramSocketPtr{
+      new DatagramSocket(mgr_, process_.host(), local, bound)};
+}
+
+}  // namespace p2plab::sockets

@@ -1,0 +1,360 @@
+// BSD-style sockets over the emulated network.
+//
+// The studied applications (our BitTorrent client, the tracker, the example
+// programs) use this API exactly as they would use the real one; the
+// interception layer (vnode/interceptor.hpp) rewrites their binds to the
+// virtual node's aliased IP, which is the whole point of P2PLab's
+// process-level virtualization.
+//
+// Transport: a reliable, in-order message stream —
+//   - connection establishment with SYN/SYN-ACK (client retries SYNs);
+//   - a byte-windowed sender (default 256 KiB) with cumulative ACKs;
+//   - go-back-N retransmission on RTO (RTT estimated per Jacobson/Karn);
+//   - FIN teardown notifying the remote's on_close.
+// It is deliberately not TCP: no congestion control. Fair sharing of
+// bottleneck links across connections — TCP's role on the real platform —
+// is provided by deficit-round-robin in the Dummynet pipes (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ipv4.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sockets/message.hpp"
+#include "vnode/interceptor.hpp"
+#include "vnode/vnode.hpp"
+
+namespace p2plab::sockets {
+
+class StreamSocket;
+class Listener;
+class DatagramSocket;
+class SocketManager;
+using StreamSocketPtr = std::shared_ptr<StreamSocket>;
+using ListenerPtr = std::shared_ptr<Listener>;
+using DatagramSocketPtr = std::shared_ptr<DatagramSocket>;
+
+/// Transport protocol namespaces share the address space but not ports.
+enum class Proto : std::uint8_t { kTcp = 0, kUdp = 1 };
+
+struct StreamConfig {
+  DataSize send_window = DataSize::kib(256);
+  /// RFC 6298's conservative floor. Access links here serialize a 16 KiB
+  /// message in over a second, so an aggressive floor guarantees spurious
+  /// retransmission storms from the handshake-derived RTT.
+  Duration min_rto = Duration::sec(1);
+  Duration max_rto = Duration::sec(60);
+  Duration initial_rto = Duration::sec(3);
+  int max_syn_retries = 5;
+  /// Consecutive RTOs without progress before the connection aborts (the
+  /// remote's on_close cannot fire; the local one does, like ETIMEDOUT).
+  int max_retransmit_timeouts = 12;
+  size_t max_reorder_buffer = 1024;  // out-of-order messages kept
+};
+
+/// Owns the port table and transport-wide configuration for one network.
+class SocketManager {
+ public:
+  class Endpoint {
+   public:
+    virtual ~Endpoint() = default;
+    virtual void handle_packet(net::Packet&& packet) = 0;
+  };
+
+  SocketManager(net::Network& network, vnode::Interceptor interceptor = {},
+                StreamConfig config = {});
+
+  SocketManager(const SocketManager&) = delete;
+  SocketManager& operator=(const SocketManager&) = delete;
+
+  net::Network& network() { return network_; }
+  sim::Simulation& sim() { return network_.sim(); }
+  const vnode::Interceptor& interceptor() const { return interceptor_; }
+  const StreamConfig& stream_config() const { return config_; }
+
+  std::uint64_t next_conn_id() { return ++conn_counter_; }
+  std::uint16_t alloc_ephemeral_port(Ipv4Addr addr, Proto proto = Proto::kTcp);
+
+  void bind_endpoint(Ipv4Addr addr, std::uint16_t port, Endpoint* endpoint,
+                     Proto proto = Proto::kTcp);
+  void unbind_endpoint(Ipv4Addr addr, std::uint16_t port,
+                       Proto proto = Proto::kTcp);
+  Endpoint* endpoint_at(Ipv4Addr addr, std::uint16_t port,
+                        Proto proto = Proto::kTcp);
+
+  /// Deliver handler installed on every packet the socket layer sends.
+  void dispatch(net::Packet&& packet);
+
+ private:
+  static std::uint64_t key(Ipv4Addr addr, std::uint16_t port, Proto proto) {
+    return (std::uint64_t{addr.to_u32()} << 17) |
+           (std::uint64_t{port} << 1) | static_cast<std::uint64_t>(proto);
+  }
+
+  net::Network& network_;
+  vnode::Interceptor interceptor_;
+  StreamConfig config_;
+  std::uint64_t conn_counter_ = 0;
+  std::unordered_map<std::uint64_t, Endpoint*> endpoints_;
+  std::unordered_map<std::uint64_t, std::uint16_t> next_ephemeral_;
+};
+
+/// One endpoint of an established (or connecting) stream.
+class StreamSocket final : public SocketManager::Endpoint,
+                           public std::enable_shared_from_this<StreamSocket> {
+ public:
+  using MessageHandler = std::function<void(Message&&)>;
+  using VoidHandler = std::function<void()>;
+
+  ~StreamSocket() override;
+
+  /// Queue a message for reliable in-order delivery. No-op after close.
+  void send(Message message);
+
+  void on_message(MessageHandler handler) { on_message_ = std::move(handler); }
+  void on_close(VoidHandler handler) { on_close_ = std::move(handler); }
+
+  /// Send FIN and tear down. The remote's on_close fires when (if) the FIN
+  /// arrives; local handlers do not fire.
+  void close();
+
+  bool connected() const { return state_ == State::kEstablished; }
+  bool closed() const { return state_ == State::kClosed; }
+  Ipv4Addr local_ip() const { return local_ip_; }
+  Ipv4Addr remote_ip() const { return remote_ip_; }
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+  std::uint64_t conn_id() const { return conn_id_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+  /// Bytes accepted by send() but not yet acknowledged by the remote —
+  /// the send-buffer depth an application polls for backpressure.
+  std::uint64_t unsent_bytes() const { return pending_bytes_ + inflight_bytes_; }
+  /// Fire `handler` whenever acknowledged progress brings unsent_bytes()
+  /// to or below `watermark` (a poor man's EPOLLOUT).
+  void on_writable(DataSize watermark, VoidHandler handler) {
+    writable_watermark_ = watermark.count_bytes();
+    on_writable_ = std::move(handler);
+  }
+  /// Smoothed RTT estimate; zero until the first measurement.
+  Duration srtt() const { return Duration::seconds(srtt_s_); }
+
+  void handle_packet(net::Packet&& packet) override;
+
+ private:
+  friend class SocketApi;
+  friend class Listener;
+
+  enum class State { kSynSent, kSynReceived, kEstablished, kClosed };
+
+  StreamSocket(SocketManager& mgr, net::Host& host);
+
+  // Client-side setup (SocketApi::connect).
+  void start_connect(Ipv4Addr local, std::uint16_t local_port, Ipv4Addr remote,
+                     std::uint16_t remote_port,
+                     std::function<void(StreamSocketPtr)> on_connected,
+                     VoidHandler on_fail);
+  // Server-side setup (Listener, on SYN).
+  void start_accepted(Ipv4Addr local, std::uint16_t local_port,
+                      Ipv4Addr remote, std::uint16_t remote_port,
+                      std::uint64_t conn_id);
+
+  void pump();
+  void transmit_data(std::uint64_t seq, const Message& message);
+  void send_control(net::PacketKind kind, std::uint64_t seq,
+                    DataSize wire_size = DataSize::bytes(kHeaderBytes));
+  void send_syn();
+  void send_ack();
+  void on_data(net::Packet&& packet);
+  void on_ack(std::uint64_t cumulative);
+  void deliver_in_order();
+  void promote_established();
+
+  void arm_timer(SimTime due);
+  void timer_fired();
+  Duration rto() const;
+  void observe_rtt(Duration sample);
+  void teardown();  // unregister + mark closed (no FIN)
+
+  SocketManager& mgr_;
+  net::Host& host_;
+  State state_ = State::kClosed;
+
+  Ipv4Addr local_ip_;
+  Ipv4Addr remote_ip_;
+  std::uint16_t local_port_ = 0;
+  std::uint16_t remote_port_ = 0;
+  std::uint64_t conn_id_ = 0;
+
+  // Sender.
+  struct InFlight {
+    std::uint64_t seq;
+    Message message;
+    SimTime sent_at;
+    bool retransmitted = false;
+  };
+  std::deque<Message> pending_;
+  std::uint64_t pending_bytes_ = 0;
+  std::deque<InFlight> inflight_;
+  std::uint64_t inflight_bytes_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t writable_watermark_ = 0;
+  VoidHandler on_writable_;
+
+  // Receiver.
+  std::uint64_t expected_seq_ = 1;
+  std::map<std::uint64_t, Message> reorder_;
+
+  // RTT / RTO state.
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  bool have_rtt_ = false;
+  int backoff_ = 0;  // exponent applied to rto on consecutive timeouts
+  int consecutive_timeouts_ = 0;  // RTOs since the last acked progress
+
+  // Timer (never cancelled; stale fires are ignored via armed_until_).
+  bool timer_armed_ = false;
+  SimTime armed_until_;
+  /// Time of the last cumulative-ack progress. The transport network is
+  /// per-flow FIFO, so as long as acks arrive the window is draining and a
+  /// retransmission would be spurious; the RTO counts from the *later* of
+  /// the oldest send and the last progress (ack-silence-based loss
+  /// detection, immune to queueing delay).
+  SimTime last_progress_;
+
+  // Handshake.
+  SimTime syn_sent_at_;
+  int syn_retries_ = 0;
+  std::function<void(StreamSocketPtr)> on_connected_;
+  VoidHandler on_connect_fail_;
+
+  MessageHandler on_message_;
+  VoidHandler on_close_;
+  /// Installed by the owner (listener/manager) to drop demux entries.
+  VoidHandler on_teardown_;
+  /// Client sockets keep themselves alive from connect() until the
+  /// application receives them (or the connect fails).
+  StreamSocketPtr self_ref_;
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// A listening socket producing accepted StreamSockets.
+class Listener final : public SocketManager::Endpoint,
+                       public std::enable_shared_from_this<Listener> {
+ public:
+  using AcceptHandler = std::function<void(StreamSocketPtr)>;
+
+  ~Listener() override;
+
+  Ipv4Addr local_ip() const { return local_ip_; }
+  std::uint16_t local_port() const { return local_port_; }
+  size_t connection_count() const { return conns_.size(); }
+
+  /// Stop accepting new connections (existing ones keep running).
+  void stop_accepting() { accepting_ = false; }
+
+  void handle_packet(net::Packet&& packet) override;
+
+ private:
+  friend class SocketApi;
+  Listener(SocketManager& mgr, net::Host& host, Ipv4Addr ip,
+           std::uint16_t port, AcceptHandler on_accept);
+
+  static std::uint64_t conn_key(Ipv4Addr remote, std::uint16_t port) {
+    return (std::uint64_t{remote.to_u32()} << 16) | port;
+  }
+
+  SocketManager& mgr_;
+  net::Host& host_;
+  Ipv4Addr local_ip_;
+  std::uint16_t local_port_;
+  bool accepting_ = true;
+  AcceptHandler on_accept_;
+  std::unordered_map<std::uint64_t, StreamSocketPtr> conns_;
+};
+
+/// A connectionless datagram socket (the paper notes the interception
+/// approach "is possible for UDP" — the same $BINDIP rewrite applies to
+/// the explicit bind). No reliability: what the pipes drop stays dropped.
+class DatagramSocket final
+    : public SocketManager::Endpoint,
+      public std::enable_shared_from_this<DatagramSocket> {
+ public:
+  /// (message, source address, source port)
+  using DatagramHandler =
+      std::function<void(Message&&, Ipv4Addr, std::uint16_t)>;
+
+  ~DatagramSocket() override;
+
+  void send_to(Ipv4Addr remote, std::uint16_t remote_port, Message message);
+  void on_message(DatagramHandler handler) { handler_ = std::move(handler); }
+  void close();
+
+  Ipv4Addr local_ip() const { return local_ip_; }
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_received() const { return received_; }
+
+  void handle_packet(net::Packet&& packet) override;
+
+ private:
+  friend class SocketApi;
+  DatagramSocket(SocketManager& mgr, net::Host& host, Ipv4Addr ip,
+                 std::uint16_t port);
+
+  SocketManager& mgr_;
+  net::Host& host_;
+  Ipv4Addr local_ip_;
+  std::uint16_t local_port_;
+  bool open_ = true;
+  std::uint64_t flow_;
+  DatagramHandler handler_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Modeled UDP/IP header overhead per datagram.
+inline constexpr std::uint64_t kUdpHeaderBytes = 28;
+
+/// The BSD-call surface bound to one virtual node's process. Calls charge
+/// the modeled syscall costs to the host CPU and route through the
+/// interception layer, exactly as on the real platform.
+class SocketApi {
+ public:
+  SocketApi(SocketManager& mgr, vnode::Process& process)
+      : mgr_(mgr), process_(process) {}
+
+  /// The address this process's sockets bind to (via $BINDIP when the
+  /// interception applies; the host's primary address otherwise).
+  Ipv4Addr effective_bind_address() const;
+
+  /// Asynchronous connect(); exactly one of the callbacks fires.
+  void connect(Ipv4Addr remote, std::uint16_t remote_port,
+               std::function<void(StreamSocketPtr)> on_connected,
+               std::function<void()> on_fail = {});
+
+  /// listen()+accept() loop: `on_accept` fires per inbound connection.
+  ListenerPtr listen(std::uint16_t port, Listener::AcceptHandler on_accept);
+
+  /// UDP socket bound via the interception layer; port 0 picks an
+  /// ephemeral port.
+  DatagramSocketPtr udp_bind(std::uint16_t port = 0);
+
+  vnode::Process& process() { return process_; }
+
+ private:
+  SocketManager& mgr_;
+  vnode::Process& process_;
+};
+
+}  // namespace p2plab::sockets

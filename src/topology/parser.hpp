@@ -1,0 +1,47 @@
+// Text format for experiment topologies.
+//
+// The real P2PLab configures experiments from description files; this is
+// our equivalent. One directive per line, '#' comments:
+//
+//   zone <name> <cidr> nodes=<n> down=<bw> up=<bw> latency=<dur> [loss=<p>]
+//   container <name> <cidr>
+//   latency <nameA> <nameB> <dur>
+//
+// Bandwidths accept 56k / 512k / 2M / 1G / plain bits-per-second;
+// durations accept 30ms / 2s / 400ms / plain milliseconds. Example — the
+// paper's Figure 7 topology:
+//
+//   container isp1 10.1.0.0/16
+//   zone modems 10.1.1.0/24 nodes=250 down=56k  up=33600 latency=100ms
+//   zone dsl    10.1.2.0/24 nodes=250 down=512k up=128k  latency=40ms
+//   zone fast   10.1.3.0/24 nodes=250 down=8M   up=1M    latency=20ms
+//   zone g2     10.2.0.0/16 nodes=1000 down=10M up=10M   latency=5ms
+//   zone g3     10.3.0.0/16 nodes=1000 down=1M  up=1M    latency=10ms
+//   latency modems dsl 100ms
+//   latency modems fast 100ms
+//   latency dsl fast 100ms
+//   latency isp1 g2 400ms
+//   latency isp1 g3 600ms
+//   latency g2 g3 1s
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "topology/topology.hpp"
+
+namespace p2plab::topology {
+
+struct ParseResult {
+  std::optional<Topology> topology;  // nullopt on error
+  std::string error;                 // human-readable, with line number
+};
+
+ParseResult parse_topology(std::string_view text);
+
+/// Building blocks, exposed for reuse and tests.
+std::optional<Bandwidth> parse_bandwidth(std::string_view text);
+std::optional<Duration> parse_duration(std::string_view text);
+
+}  // namespace p2plab::topology

@@ -1,0 +1,44 @@
+// Syscall cost model for the process-level virtualization layer.
+//
+// P2PLab binds each virtual node's process to its own IP by modifying
+// bind()/connect()/listen() in the FreeBSD libc: connect() and listen()
+// issue an extra bind() to the address in the BINDIP environment variable,
+// doubling their system-call count. The paper measures the overhead on a
+// local TCP connect/disconnect cycle: 10.22 us unmodified vs 10.79 us
+// intercepted.
+//
+// The constants below are calibrated so those two numbers are *emergent*:
+//   base cycle  = socket + connect + loopback RTT + close
+//               = 2.10 + 4.62 + 2.00 + 1.50             = 10.22 us
+//   intercepted = base + getenv(BINDIP) + extra bind
+//               = 10.22 + 0.07 + 0.50                   = 10.79 us
+#pragma once
+
+#include "common/time.hpp"
+
+namespace p2plab::vnode {
+
+struct SyscallCosts {
+  Duration sys_socket = Duration::micros(2.10);
+  Duration sys_bind = Duration::micros(0.50);
+  Duration sys_connect = Duration::micros(4.62);
+  Duration sys_listen = Duration::micros(0.80);
+  Duration sys_accept = Duration::micros(2.50);
+  Duration sys_close = Duration::micros(1.50);
+  Duration sys_send = Duration::micros(0.90);
+  Duration sys_recv = Duration::micros(0.90);
+  /// Kernel loopback handoff inside a local connect/accept cycle.
+  Duration loopback_rtt = Duration::micros(2.00);
+  /// getenv("BINDIP") plus address parsing in the modified libc.
+  Duration env_lookup = Duration::micros(0.07);
+
+  /// The microbenchmark quantities, for tests and the bench harness.
+  Duration base_connect_cycle() const {
+    return sys_socket + sys_connect + loopback_rtt + sys_close;
+  }
+  Duration intercepted_connect_cycle() const {
+    return base_connect_cycle() + env_lookup + sys_bind;
+  }
+};
+
+}  // namespace p2plab::vnode

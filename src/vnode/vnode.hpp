@@ -1,0 +1,77 @@
+// Virtual nodes and their processes.
+//
+// P2PLab virtualizes at the process level: a virtual node is an ordinary
+// process whose *network identity* is virtualized — it is bound to one of
+// the host's aliased IP addresses via the BINDIP environment variable. All
+// other resources (filesystem, memory) are shared like normal processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/ipv4.hpp"
+#include "net/host.hpp"
+
+namespace p2plab::vnode {
+
+/// A virtual node: an IP alias on a physical host.
+class VirtualNode {
+ public:
+  VirtualNode(net::Host& host, std::uint32_t id, Ipv4Addr ip)
+      : host_(host), id_(id), ip_(ip) {
+    host.add_alias(ip);
+  }
+
+  VirtualNode(const VirtualNode&) = delete;
+  VirtualNode& operator=(const VirtualNode&) = delete;
+
+  net::Host& host() { return host_; }
+  const net::Host& host() const { return host_; }
+  std::uint32_t id() const { return id_; }
+  Ipv4Addr ip() const { return ip_; }
+
+ private:
+  net::Host& host_;
+  std::uint32_t id_;
+  Ipv4Addr ip_;
+};
+
+enum class LinkMode {
+  kDynamic,  // normal case: the modified libc intercepts network calls
+  kStatic,   // statically compiled: interception does not apply (the one
+             // failure case the paper reports)
+};
+
+/// The process running on a virtual node: environment variables plus the
+/// link mode that decides whether the libc interception is active.
+class Process {
+ public:
+  Process(VirtualNode& node, LinkMode link_mode = LinkMode::kDynamic)
+      : node_(node), link_mode_(link_mode) {
+    set_env("BINDIP", node.ip().to_string());
+  }
+
+  VirtualNode& node() { return node_; }
+  const VirtualNode& node() const { return node_; }
+  net::Host& host() { return node_.host(); }
+  LinkMode link_mode() const { return link_mode_; }
+
+  void set_env(const std::string& key, const std::string& value) {
+    env_[key] = value;
+  }
+  void unset_env(const std::string& key) { env_.erase(key); }
+  std::optional<std::string> getenv(const std::string& key) const {
+    const auto it = env_.find(key);
+    if (it == env_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  VirtualNode& node_;
+  LinkMode link_mode_;
+  std::map<std::string, std::string> env_;
+};
+
+}  // namespace p2plab::vnode

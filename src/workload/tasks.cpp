@@ -1,0 +1,65 @@
+#include "workload/tasks.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace p2plab::workload {
+
+std::uint64_t ackermann(std::uint64_t m, std::uint64_t n) {
+  // Iterative evaluation with an explicit stack of pending m-values;
+  // equivalent to the classic recursion but safe from stack overflow.
+  std::vector<std::uint64_t> stack;
+  stack.push_back(m);
+  while (!stack.empty()) {
+    m = stack.back();
+    stack.pop_back();
+    if (m == 0) {
+      n += 1;
+    } else if (n == 0) {
+      stack.push_back(m - 1);
+      n = 1;
+    } else {
+      stack.push_back(m - 1);
+      stack.push_back(m);
+      n -= 1;
+    }
+  }
+  return n;
+}
+
+sched::ProcSpec ackermann_task() {
+  return {.work = Duration::millis(1650.0),
+          .working_set = DataSize::mib(2),
+          .spawn_time = SimTime::zero()};
+}
+
+sched::ProcSpec fairness_task() {
+  return {.work = Duration::sec(5),
+          .working_set = DataSize::mib(2),
+          .spawn_time = SimTime::zero()};
+}
+
+sched::ProcSpec matrix_task() {
+  return {.work = Duration::millis(1200.0),
+          .working_set = DataSize::mib(60),
+          .spawn_time = SimTime::zero()};
+}
+
+std::vector<sched::ProcSpec> batch(const sched::ProcSpec& spec, size_t n) {
+  P2PLAB_ASSERT(n > 0);
+  return std::vector<sched::ProcSpec>(n, spec);
+}
+
+std::vector<sched::ProcSpec> staggered_batch(const sched::ProcSpec& spec,
+                                             size_t n, Duration interval) {
+  P2PLAB_ASSERT(n > 0);
+  std::vector<sched::ProcSpec> specs(n, spec);
+  for (size_t i = 0; i < n; ++i) {
+    specs[i].spawn_time =
+        SimTime::zero() + interval * static_cast<std::int64_t>(i);
+  }
+  return specs;
+}
+
+}  // namespace p2plab::workload

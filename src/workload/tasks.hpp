@@ -1,0 +1,46 @@
+// Workload definitions for the scheduler-suitability study.
+//
+// The paper uses two benchmark programs on the GridExplorer nodes:
+//  - a CPU-intensive, non-memory-intensive program "calculating Ackermann's
+//    function, requiring about 1.65 seconds to complete when run alone"
+//    (Figure 1), and a ~5 s variant for the fairness study (Figure 3);
+//  - a CPU- and memory-intensive program "doing simple operations on large
+//    matrices" (Figure 2).
+//
+// We model each as a ProcSpec with calibrated demand; a real Ackermann
+// evaluator is included so tests can tie the calibration to the actual
+// function the paper names.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sched/scheduler.hpp"
+
+namespace p2plab::workload {
+
+/// Ackermann's function A(m, n) for the small arguments the benchmark uses.
+/// Evaluated iteratively (explicit stack) so A(3, n) is safe for n ~ 10.
+std::uint64_t ackermann(std::uint64_t m, std::uint64_t n);
+
+/// Figure 1 task: CPU-bound, negligible memory, ~1.65 s alone.
+sched::ProcSpec ackermann_task();
+
+/// Figure 3 task: CPU-bound, ~5 s alone.
+sched::ProcSpec fairness_task();
+
+/// Figure 2 task: CPU + memory intensive, ~1.2 s alone, 60 MiB working set
+/// ("simple operations on large matrices").
+sched::ProcSpec matrix_task();
+
+/// A batch of n copies of `spec`, all spawned at t=0 (the paper starts all
+/// instances at the same time from a high-priority launcher).
+std::vector<sched::ProcSpec> batch(const sched::ProcSpec& spec, size_t n);
+
+/// A batch of n copies spawned `interval` apart, starting at t=0.
+std::vector<sched::ProcSpec> staggered_batch(const sched::ProcSpec& spec,
+                                             size_t n, Duration interval);
+
+}  // namespace p2plab::workload

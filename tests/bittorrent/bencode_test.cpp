@@ -1,0 +1,131 @@
+#include "bittorrent/bencode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace p2plab::bt {
+namespace {
+
+TEST(Bencode, EncodePrimitives) {
+  EXPECT_EQ(bencode(BValue{42}), "i42e");
+  EXPECT_EQ(bencode(BValue{-7}), "i-7e");
+  EXPECT_EQ(bencode(BValue{0}), "i0e");
+  EXPECT_EQ(bencode(BValue{"spam"}), "4:spam");
+  EXPECT_EQ(bencode(BValue{""}), "0:");
+}
+
+TEST(Bencode, EncodeList) {
+  EXPECT_EQ(bencode(BValue{BList{BValue{"spam"}, BValue{42}}}),
+            "l4:spami42ee");
+  EXPECT_EQ(bencode(BValue{BList{}}), "le");
+}
+
+TEST(Bencode, EncodeDictSortsKeys) {
+  BDict dict;
+  dict.emplace("zebra", BValue{1});
+  dict.emplace("apple", BValue{2});
+  EXPECT_EQ(bencode(BValue{dict}), "d5:applei2e5:zebrai1ee");
+}
+
+TEST(Bencode, DecodePrimitives) {
+  EXPECT_EQ(*bdecode("i42e"), BValue{42});
+  EXPECT_EQ(*bdecode("i-7e"), BValue{-7});
+  EXPECT_EQ(*bdecode("4:spam"), BValue{"spam"});
+  EXPECT_EQ(*bdecode("0:"), BValue{""});
+}
+
+TEST(Bencode, DecodeNested) {
+  const auto value = bdecode("d4:infod6:lengthi16777216e4:name3:fooee");
+  ASSERT_TRUE(value.has_value());
+  const BValue* info = value->find("info");
+  ASSERT_NE(info, nullptr);
+  ASSERT_NE(info->find("length"), nullptr);
+  EXPECT_EQ(info->find("length")->as_int(), 16777216);
+  EXPECT_EQ(info->find("name")->as_string(), "foo");
+}
+
+TEST(Bencode, FindOnNonDict) {
+  EXPECT_EQ(BValue{42}.find("x"), nullptr);
+  BValue d{BDict{}};
+  EXPECT_EQ(d.find("missing"), nullptr);
+}
+
+TEST(Bencode, RejectsMalformed) {
+  EXPECT_FALSE(bdecode("").has_value());
+  EXPECT_FALSE(bdecode("i42").has_value());         // unterminated int
+  EXPECT_FALSE(bdecode("ie").has_value());          // empty int
+  EXPECT_FALSE(bdecode("i042e").has_value());       // leading zero
+  EXPECT_FALSE(bdecode("i-0e").has_value());        // negative zero
+  EXPECT_FALSE(bdecode("5:spam").has_value());      // short string
+  EXPECT_FALSE(bdecode("4spam").has_value());       // missing colon
+  EXPECT_FALSE(bdecode("l4:spam").has_value());     // unterminated list
+  EXPECT_FALSE(bdecode("d4:spame").has_value());    // key without value
+  EXPECT_FALSE(bdecode("i42ei43e").has_value());    // trailing garbage
+  EXPECT_FALSE(bdecode("x").has_value());           // unknown type
+  EXPECT_FALSE(bdecode("di42e4:spame").has_value()); // non-string key
+}
+
+TEST(Bencode, RejectsExcessiveNesting) {
+  std::string deep(100, 'l');
+  deep += std::string(100, 'e');
+  EXPECT_FALSE(bdecode(deep).has_value());
+}
+
+TEST(Bencode, BinaryStringsSurvive) {
+  std::string blob;
+  for (int i = 0; i < 256; ++i) blob.push_back(static_cast<char>(i));
+  const std::string encoded = bencode(BValue{blob});
+  const auto decoded = bdecode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->as_string(), blob);
+}
+
+// Property: encode(decode(encode(v))) == encode(v) for random values.
+BValue random_value(Rng& rng, int depth) {
+  const auto kind = rng.uniform(depth > 3 ? 2 : 4);
+  switch (kind) {
+    case 0:
+      return BValue{rng.uniform_int(-1000000, 1000000)};
+    case 1: {
+      std::string s;
+      const auto len = rng.uniform(20);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform(256)));
+      }
+      return BValue{s};
+    }
+    case 2: {
+      BList list;
+      const auto len = rng.uniform(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        list.push_back(random_value(rng, depth + 1));
+      }
+      return BValue{list};
+    }
+    default: {
+      BDict dict;
+      const auto len = rng.uniform(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        dict.emplace("k" + std::to_string(rng.uniform(1000)),
+                     random_value(rng, depth + 1));
+      }
+      return BValue{dict};
+    }
+  }
+}
+
+TEST(Bencode, RoundTripProperty) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BValue value = random_value(rng, 0);
+    const std::string encoded = bencode(value);
+    const auto decoded = bdecode(encoded);
+    ASSERT_TRUE(decoded.has_value()) << encoded;
+    EXPECT_EQ(bencode(*decoded), encoded);
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+}  // namespace
+}  // namespace p2plab::bt

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "bittorrent/bitfield.hpp"
+#include "bittorrent/rate.hpp"
+
+namespace p2plab::bt {
+namespace {
+
+TEST(Bitfield, SetClearCount) {
+  Bitfield bf(100);
+  EXPECT_TRUE(bf.none());
+  bf.set(0);
+  bf.set(64);
+  bf.set(99);
+  EXPECT_EQ(bf.count(), 3u);
+  EXPECT_TRUE(bf.get(64));
+  EXPECT_FALSE(bf.get(63));
+  bf.set(64);  // idempotent
+  EXPECT_EQ(bf.count(), 3u);
+  bf.clear(64);
+  EXPECT_EQ(bf.count(), 2u);
+  bf.clear(64);  // idempotent
+  EXPECT_EQ(bf.count(), 2u);
+}
+
+TEST(Bitfield, SetAllAndAll) {
+  Bitfield bf(65);
+  bf.set_all();
+  EXPECT_TRUE(bf.all());
+  EXPECT_EQ(bf.count(), 65u);
+}
+
+TEST(Bitfield, OtherHasMissing) {
+  Bitfield mine(10);
+  Bitfield theirs(10);
+  EXPECT_FALSE(mine.other_has_missing(theirs));
+  theirs.set(3);
+  EXPECT_TRUE(mine.other_has_missing(theirs));
+  mine.set(3);
+  EXPECT_FALSE(mine.other_has_missing(theirs));
+  mine.set(5);  // we have more than them: still nothing to gain
+  EXPECT_FALSE(mine.other_has_missing(theirs));
+}
+
+TEST(Bitfield, WireBytes) {
+  EXPECT_EQ(Bitfield(64).wire_bytes(), 8u);
+  EXPECT_EQ(Bitfield(65).wire_bytes(), 9u);
+  EXPECT_EQ(Bitfield(1).wire_bytes(), 1u);
+}
+
+TEST(RateEstimator, SteadyRate) {
+  RateEstimator rate;
+  // 10 KiB/s for 40 s; the 20 s window should report ~10 KiB/s.
+  for (int s = 0; s < 40; ++s) {
+    rate.add(SimTime::zero() + Duration::sec(s), 10 * 1024);
+  }
+  EXPECT_NEAR(rate.rate_bps(SimTime::zero() + Duration::sec(40)),
+              10.0 * 1024, 1024.0);
+}
+
+TEST(RateEstimator, WindowForgetsOldTraffic) {
+  RateEstimator rate;
+  rate.add(SimTime::zero() + Duration::sec(1), 1000000);
+  EXPECT_GT(rate.rate_bps(SimTime::zero() + Duration::sec(2)), 0.0);
+  // 30 s later the burst is outside the 20 s window.
+  EXPECT_DOUBLE_EQ(rate.rate_bps(SimTime::zero() + Duration::sec(31)), 0.0);
+}
+
+TEST(RateEstimator, TotalInWindow) {
+  RateEstimator rate;
+  rate.add(SimTime::zero() + Duration::sec(5), 500);
+  rate.add(SimTime::zero() + Duration::sec(6), 700);
+  EXPECT_EQ(rate.total_in_window(SimTime::zero() + Duration::sec(7)), 1200u);
+  EXPECT_EQ(rate.total_in_window(SimTime::zero() + Duration::sec(60)), 0u);
+}
+
+TEST(RateEstimator, PartialExpiry) {
+  RateEstimator rate;  // 20 x 1 s buckets
+  rate.add(SimTime::zero() + Duration::sec(1), 100);
+  rate.add(SimTime::zero() + Duration::sec(10), 200);
+  // At t=22 the first bucket expired, the second has not.
+  EXPECT_EQ(rate.total_in_window(SimTime::zero() + Duration::sec(22)), 200u);
+}
+
+}  // namespace
+}  // namespace p2plab::bt

@@ -1,0 +1,88 @@
+#include "bittorrent/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace p2plab::bt {
+namespace {
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1, EmptyInput) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{"abc"})),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{
+                "The quick brown fox jumps over the lazy dog"})),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+// Property: incremental hashing over arbitrary chunk splits equals one-shot.
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Rng rng(7);
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(256));
+  const Sha1Digest expected = Sha1::hash(data);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Sha1 h;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t chunk =
+          1 + rng.uniform(std::min<std::size_t>(200, data.size() - pos));
+      h.update(std::span<const std::uint8_t>(data.data() + pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(h.finish(), expected);
+  }
+}
+
+TEST(Sha1, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes exercise the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string data(n, 'x');
+    Sha1 split;
+    split.update(std::string_view(data).substr(0, n / 2));
+    split.update(std::string_view(data).substr(n / 2));
+    EXPECT_EQ(split.finish(), Sha1::hash(std::string_view(data))) << n;
+  }
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::hash(std::string_view{"a"}),
+            Sha1::hash(std::string_view{"b"}));
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update(std::string_view{"garbage"});
+  h.reset();
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(to_hex(h.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+}  // namespace
+}  // namespace p2plab::bt

@@ -1,0 +1,126 @@
+#include "common/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab {
+namespace {
+
+TEST(Ipv4Addr, OctetConstructionRoundTrips) {
+  const auto a = Ipv4Addr::from_octets(10, 1, 3, 207);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 3);
+  EXPECT_EQ(a.octet(3), 207);
+  EXPECT_EQ(a.to_string(), "10.1.3.207");
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("192.168.38.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Addr::from_octets(192, 168, 38, 1));
+}
+
+TEST(Ipv4Addr, ParseBoundaries) {
+  EXPECT_EQ(*Ipv4Addr::parse("0.0.0.0"), Ipv4Addr::from_u32(0));
+  EXPECT_EQ(*Ipv4Addr::parse("255.255.255.255"), Ipv4Addr::from_u32(0xffffffff));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.-1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10..0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.01").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.1 ").has_value());
+}
+
+TEST(Ipv4Addr, OrderingFollowsNumericValue) {
+  EXPECT_LT(Ipv4Addr::from_octets(10, 0, 0, 1), Ipv4Addr::from_octets(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr::from_octets(10, 0, 0, 255), Ipv4Addr::from_octets(10, 0, 1, 0));
+}
+
+TEST(Ipv4Addr, OffsetIteratesHosts) {
+  const auto base = Ipv4Addr::from_octets(10, 0, 0, 0);
+  EXPECT_EQ(base.offset(1).to_string(), "10.0.0.1");
+  EXPECT_EQ(base.offset(300).to_string(), "10.0.1.44");
+}
+
+TEST(CidrBlock, ParseAndFormat) {
+  const auto block = CidrBlock::parse("10.1.0.0/16");
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->prefix_len(), 16);
+  EXPECT_EQ(block->to_string(), "10.1.0.0/16");
+}
+
+TEST(CidrBlock, BaseIsMasked) {
+  const CidrBlock block{Ipv4Addr::from_octets(10, 1, 3, 207), 24};
+  EXPECT_EQ(block.base().to_string(), "10.1.3.0");
+}
+
+TEST(CidrBlock, ContainsAddress) {
+  const auto block = *CidrBlock::parse("10.1.3.0/24");
+  EXPECT_TRUE(block.contains(Ipv4Addr::from_octets(10, 1, 3, 207)));
+  EXPECT_TRUE(block.contains(Ipv4Addr::from_octets(10, 1, 3, 0)));
+  EXPECT_FALSE(block.contains(Ipv4Addr::from_octets(10, 1, 2, 207)));
+  EXPECT_FALSE(block.contains(Ipv4Addr::from_octets(10, 2, 3, 207)));
+}
+
+TEST(CidrBlock, ContainsBlock) {
+  const auto wide = *CidrBlock::parse("10.1.0.0/16");
+  const auto narrow = *CidrBlock::parse("10.1.3.0/24");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(CidrBlock, Overlaps) {
+  const auto a = *CidrBlock::parse("10.1.0.0/16");
+  const auto b = *CidrBlock::parse("10.1.3.0/24");
+  const auto c = *CidrBlock::parse("10.2.0.0/16");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(CidrBlock, AnyMatchesEverything) {
+  EXPECT_TRUE(CidrBlock::any().contains(Ipv4Addr::from_u32(0)));
+  EXPECT_TRUE(CidrBlock::any().contains(Ipv4Addr::from_u32(0xffffffff)));
+  EXPECT_EQ(CidrBlock::any().size(), std::uint64_t{1} << 32);
+}
+
+TEST(CidrBlock, SizeAndHost) {
+  const auto block = *CidrBlock::parse("10.0.0.0/8");
+  EXPECT_EQ(block.size(), 1u << 24);
+  EXPECT_EQ(block.host(1).to_string(), "10.0.0.1");
+  const auto slash32 = *CidrBlock::parse("10.1.3.207/32");
+  EXPECT_EQ(slash32.size(), 1u);
+  EXPECT_TRUE(slash32.contains(Ipv4Addr::from_octets(10, 1, 3, 207)));
+  EXPECT_FALSE(slash32.contains(Ipv4Addr::from_octets(10, 1, 3, 208)));
+}
+
+TEST(CidrBlock, ParseRejectsMalformed) {
+  EXPECT_FALSE(CidrBlock::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(CidrBlock::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(CidrBlock::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(CidrBlock::parse("10.0.0/8").has_value());
+  EXPECT_FALSE(CidrBlock::parse("10.0.0.0/").has_value());
+}
+
+// Property: every host generated from a block is contained in the block and
+// distinct.
+TEST(CidrBlock, HostsAreContainedAndDistinct) {
+  const auto block = *CidrBlock::parse("10.1.3.0/24");
+  Ipv4Addr prev = block.host(0);
+  for (std::uint32_t i = 1; i < 256; ++i) {
+    const Ipv4Addr h = block.host(i);
+    EXPECT_TRUE(block.contains(h));
+    EXPECT_LT(prev, h);
+    prev = h;
+  }
+}
+
+}  // namespace
+}  // namespace p2plab

@@ -1,0 +1,57 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab {
+namespace {
+
+TEST(Duration, FactoriesAgree) {
+  EXPECT_EQ(Duration::sec(1), Duration::ms(1000));
+  EXPECT_EQ(Duration::ms(1), Duration::us(1000));
+  EXPECT_EQ(Duration::us(1), Duration::ns(1000));
+  EXPECT_EQ(Duration::seconds(1.5), Duration::ms(1500));
+  EXPECT_EQ(Duration::millis(0.5), Duration::us(500));
+  EXPECT_EQ(Duration::micros(2.5), Duration::ns(2500));
+}
+
+TEST(Duration, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::seconds(1e-9 * 0.6).count_ns(), 1);
+  EXPECT_EQ(Duration::seconds(1e-9 * 0.4).count_ns(), 0);
+  EXPECT_EQ(Duration::seconds(-1e-9 * 0.6).count_ns(), -1);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::ms(3) - Duration::ms(1), Duration::ms(2));
+  EXPECT_EQ(Duration::ms(3) * 2, Duration::ms(6));
+  EXPECT_EQ(Duration::ms(6) / 2, Duration::ms(3));
+  EXPECT_DOUBLE_EQ(Duration::ms(6) / Duration::ms(3), 2.0);
+  EXPECT_EQ(-Duration::ms(1), Duration::ms(-1));
+}
+
+TEST(Duration, Scaled) {
+  EXPECT_EQ(Duration::sec(10).scaled(0.5), Duration::sec(5));
+}
+
+TEST(SimTime, PointArithmetic) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::ms(30);
+  EXPECT_EQ(t1 - t0, Duration::ms(30));
+  EXPECT_EQ(t1 - Duration::ms(30), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ((SimTime::zero() + Duration::sec(2)).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((SimTime::zero() + Duration::ms(853)).to_millis(), 853.0);
+}
+
+TEST(TimeFormatting, HumanReadable) {
+  EXPECT_EQ(Duration::ns(17).to_string(), "17ns");
+  EXPECT_EQ(Duration::us(10).to_string(), "10.000us");
+  EXPECT_EQ(Duration::ms(853).to_string(), "853.000ms");
+  EXPECT_EQ(Duration::sec(5).to_string(), "5.000s");
+  EXPECT_EQ(Duration::ms(-2).to_string(), "-2.000ms");
+}
+
+}  // namespace
+}  // namespace p2plab

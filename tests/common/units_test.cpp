@@ -1,0 +1,61 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab {
+namespace {
+
+TEST(DataSize, UnitsCompose) {
+  EXPECT_EQ(DataSize::kib(1).count_bytes(), 1024u);
+  EXPECT_EQ(DataSize::mib(16).count_bytes(), 16u * 1024 * 1024);
+  EXPECT_EQ(DataSize::gib(2).count_bytes(), 2ull << 30);
+  EXPECT_EQ(DataSize::mib(1).count_bits(), 8u * 1024 * 1024);
+}
+
+TEST(DataSize, Arithmetic) {
+  EXPECT_EQ(DataSize::kib(1) + DataSize::kib(1), DataSize::kib(2));
+  EXPECT_EQ(DataSize::kib(2) - DataSize::kib(1), DataSize::kib(1));
+  EXPECT_EQ(DataSize::kib(1) * 3, DataSize::bytes(3072));
+  EXPECT_LT(DataSize::kib(1), DataSize::mib(1));
+}
+
+TEST(DataSize, Format) {
+  EXPECT_EQ(DataSize::bytes(17).to_string(), "17B");
+  EXPECT_EQ(DataSize::mib(16).to_string(), "16.00MiB");
+}
+
+TEST(Bandwidth, TransmissionTimeMatchesPaperUnits) {
+  // A 16 KiB BitTorrent block on a 128 kb/s DSL uplink: 16384*8/128000 s.
+  const Duration t = Bandwidth::kbps(128).transmission_time(DataSize::kib(16));
+  EXPECT_NEAR(t.to_seconds(), 1.024, 1e-9);
+}
+
+TEST(Bandwidth, TransmissionTimeGigabit) {
+  const Duration t = Bandwidth::gbps(1).transmission_time(DataSize::kib(16));
+  EXPECT_NEAR(t.to_micros(), 131.072, 1e-6);
+}
+
+TEST(Bandwidth, UnlimitedIsZeroTime) {
+  EXPECT_TRUE(Bandwidth::unlimited().is_unlimited());
+  EXPECT_EQ(Bandwidth::unlimited().transmission_time(DataSize::gib(1)),
+            Duration::zero());
+}
+
+TEST(Bandwidth, BytesInInvertsTransmissionTime) {
+  const Bandwidth bw = Bandwidth::mbps(2);
+  const DataSize size = DataSize::kib(256);
+  const Duration t = bw.transmission_time(size);
+  const DataSize back = bw.bytes_in(t);
+  // Floor rounding may lose a byte.
+  EXPECT_NEAR(static_cast<double>(back.count_bytes()),
+              static_cast<double>(size.count_bytes()), 1.0);
+}
+
+TEST(Bandwidth, Format) {
+  EXPECT_EQ(Bandwidth::kbps(128).to_string(), "128.00kbps");
+  EXPECT_EQ(Bandwidth::mbps(2).to_string(), "2.00Mbps");
+  EXPECT_EQ(Bandwidth::unlimited().to_string(), "unlimited");
+}
+
+}  // namespace
+}  // namespace p2plab

@@ -1,0 +1,182 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab::core {
+namespace {
+
+Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
+
+TEST(Platform, DeploysVnodesInBlocks) {
+  Platform platform(topology::homogeneous_dsl(160),
+                    PlatformConfig{.physical_nodes = 16});
+  EXPECT_EQ(platform.vnode_count(), 160u);
+  EXPECT_EQ(platform.physical_node_count(), 16u);
+  EXPECT_EQ(platform.folding_ratio(), 10u);
+  EXPECT_EQ(platform.pnode_of_vnode(0), 0u);
+  EXPECT_EQ(platform.pnode_of_vnode(9), 0u);
+  EXPECT_EQ(platform.pnode_of_vnode(10), 1u);
+  EXPECT_EQ(platform.pnode_of_vnode(159), 15u);
+  // Every pnode hosts exactly 10 aliases.
+  for (std::size_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(platform.network().host(p).aliases().size(), 10u);
+  }
+}
+
+TEST(Platform, TwoRulesPerHostedVnode) {
+  // The paper: "Two rules are needed for each hosted virtual node (one for
+  // incoming packets, the other one for outgoing packets)."
+  Platform platform(topology::homogeneous_dsl(40),
+                    PlatformConfig{.physical_nodes = 4});
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(platform.network().host(p).firewall().rule_count(), 20u);
+    EXPECT_EQ(platform.network().host(p).firewall().pipe_count(), 20u);
+  }
+}
+
+TEST(Platform, Figure7RuleCountOnHostOf10_1_3) {
+  // The paper's worked example: the physical node hosting 10.1.3.207 needs
+  // two rules per hosted vnode plus four inter-group latency rules
+  // (10.1.3->10.1.1, 10.1.3->10.1.2 at 100 ms; 10.1->10.2 at 400 ms;
+  // 10.1->10.3 at 600 ms).
+  auto topo = topology::figure7();
+  // One pnode per zone block of 250/250/250/1000/1000 = 2750 nodes; use
+  // 11 pnodes -> 250 vnodes each, so pnode 2 hosts exactly 10.1.3.*.
+  Platform platform(topo, PlatformConfig{.physical_nodes = 11});
+  net::Host& host = platform.network().host(2);
+  ASSERT_EQ(host.aliases().size(), 250u);
+  EXPECT_EQ(host.aliases().front(), ip("10.1.3.1"));
+  // 2*250 vnode rules + 4 group rules.
+  EXPECT_EQ(host.firewall().rule_count(), 504u);
+
+  // The group rules impose exactly the paper's latencies.
+  const auto to_10_1_1 =
+      host.firewall().classify(ip("10.1.3.207"), ip("10.1.1.5"),
+                               ipfw::RuleDir::kOut);
+  ASSERT_EQ(to_10_1_1.pipes.size(), 2u);  // access pipe + 100 ms pipe
+  EXPECT_EQ(host.firewall().pipe(to_10_1_1.pipes[1]).config().delay,
+            Duration::ms(100));
+  const auto to_10_2 =
+      host.firewall().classify(ip("10.1.3.207"), ip("10.2.2.117"),
+                               ipfw::RuleDir::kOut);
+  ASSERT_EQ(to_10_2.pipes.size(), 2u);
+  EXPECT_EQ(host.firewall().pipe(to_10_2.pipes[1]).config().delay,
+            Duration::ms(400));
+  const auto to_10_3 =
+      host.firewall().classify(ip("10.1.3.207"), ip("10.3.0.7"),
+                               ipfw::RuleDir::kOut);
+  ASSERT_EQ(to_10_3.pipes.size(), 2u);
+  EXPECT_EQ(host.firewall().pipe(to_10_3.pipes[1]).config().delay,
+            Duration::ms(600));
+  // Same-subnet traffic only passes the access pipe on the way out; the
+  // peer's downlink pipe applies on the incoming pass (even co-located).
+  const auto local_out = host.firewall().classify(
+      ip("10.1.3.207"), ip("10.1.3.5"), ipfw::RuleDir::kOut);
+  EXPECT_EQ(local_out.pipes.size(), 1u);
+  const auto local_in = host.firewall().classify(
+      ip("10.1.3.207"), ip("10.1.3.5"), ipfw::RuleDir::kIn);
+  EXPECT_EQ(local_in.pipes.size(), 1u);
+}
+
+TEST(Platform, PingThroughDslPair) {
+  // Two DSL vnodes: RTT = 4 x 30 ms access latency + serialization + eps.
+  Platform platform(topology::homogeneous_dsl(2),
+                    PlatformConfig{.physical_nodes = 2});
+  Duration rtt;
+  platform.ping(ip("10.0.0.1"), ip("10.0.0.2"),
+                [&](Duration d) { rtt = d; });
+  platform.sim().run();
+  // 4 x 30 ms access latency + 2 x 4 ms uplink serialization of the 64 B
+  // probe at 128 kb/s + downlink/fabric/CPU epsilon.
+  EXPECT_NEAR(rtt.to_millis(), 128.7, 2.0);
+}
+
+TEST(Platform, Figure7PingMatches853ms) {
+  // The paper measures 853 ms between 10.1.3.207 and 10.2.2.117:
+  // 20 + 400 + 5 out, 425 back, ~3 ms of firewall/underlying network.
+  Platform platform(topology::figure7(),
+                    PlatformConfig{.physical_nodes = 11});
+  Duration rtt;
+  platform.ping(ip("10.1.3.207"), ip("10.2.2.117"),
+                [&](Duration d) { rtt = d; });
+  platform.sim().run();
+  EXPECT_NEAR(rtt.to_millis(), 853.0, 6.0);
+}
+
+TEST(Platform, PingRttGrowsLinearlyWithFillerRules) {
+  // Figure 6's sweep at the platform level.
+  Platform platform(topology::homogeneous_dsl(2),
+                    PlatformConfig{.physical_nodes = 2});
+  auto measure = [&] {
+    Duration rtt;
+    platform.ping(ip("192.168.0.1"), ip("192.168.0.2"),
+                  [&](Duration d) { rtt = d; });
+    platform.sim().run();
+    return rtt;
+  };
+  const Duration base = measure();
+  platform.network().host(0).firewall().add_filler_rules(100000, 10000);
+  const Duration at_10k = measure();
+  platform.network().host(0).firewall().add_filler_rules(200000, 10000);
+  const Duration at_20k = measure();
+  // Each 10k rules adds ~2 x 0.5 ms (out on the way there, in on the way
+  // back, both on host 0).
+  EXPECT_NEAR((at_10k - base).to_millis(), 1.0, 0.1);
+  EXPECT_NEAR((at_20k - at_10k).to_millis(), 1.0, 0.1);
+}
+
+TEST(Platform, ProcessesHaveBindip) {
+  Platform platform(topology::homogeneous_dsl(4),
+                    PlatformConfig{.physical_nodes = 2});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto bindip = platform.process(i).getenv("BINDIP");
+    ASSERT_TRUE(bindip.has_value());
+    EXPECT_EQ(*bindip, platform.vnode(i).ip().to_string());
+    EXPECT_EQ(platform.api(i).effective_bind_address(),
+              platform.vnode(i).ip());
+  }
+}
+
+TEST(Platform, SingleMachineFoldsEverything) {
+  Platform platform(topology::homogeneous_dsl(80),
+                    PlatformConfig{.physical_nodes = 1});
+  EXPECT_EQ(platform.folding_ratio(), 80u);
+  EXPECT_EQ(platform.network().host(0).aliases().size(), 80u);
+  EXPECT_EQ(platform.network().host(0).firewall().rule_count(), 160u);
+}
+
+TEST(Platform, TotalRulesAccounting) {
+  Platform platform(topology::homogeneous_dsl(40),
+                    PlatformConfig{.physical_nodes = 4});
+  EXPECT_EQ(platform.total_rules(), 80u);
+}
+
+TEST(Platform, SocketsWorkAcrossTheDeployment) {
+  Platform platform(topology::homogeneous_dsl(4),
+                    PlatformConfig{.physical_nodes = 2});
+  int echoed = 0;
+  auto listener =
+      platform.api(0).listen(7000, [&](sockets::StreamSocketPtr s) {
+        s->on_message([&echoed, s](sockets::Message&& m) {
+          ++echoed;
+          s->send(std::move(m));
+        });
+      });
+  int replies = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    platform.api(i).connect(
+        platform.vnode(0).ip(), 7000, [&](sockets::StreamSocketPtr s) {
+          s->on_message([&replies](sockets::Message&&) { ++replies; });
+          sockets::Message m;
+          m.type = 1;
+          m.size = DataSize::kib(1);
+          s->send(m);
+        });
+  }
+  platform.sim().run();
+  EXPECT_EQ(echoed, 3);
+  EXPECT_EQ(replies, 3);
+}
+
+}  // namespace
+}  // namespace p2plab::core

@@ -1,0 +1,167 @@
+#include "ipfw/rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab::ipfw {
+namespace {
+
+Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
+CidrBlock cidr(const char* text) { return *CidrBlock::parse(text); }
+
+Rule pipe_rule(std::uint32_t number, const char* src, const char* dst,
+               PipeId pipe) {
+  return Rule{.number = number,
+              .src = cidr(src),
+              .dst = cidr(dst),
+              .action = RuleAction::kPipe,
+              .pipe = pipe};
+}
+
+TEST(Rule, MatchesBySrcAndDst) {
+  const Rule r = pipe_rule(100, "10.1.3.0/24", "10.1.1.0/24", 1);
+  EXPECT_TRUE(r.matches(ip("10.1.3.207"), ip("10.1.1.5"), RuleDir::kAny));
+  EXPECT_FALSE(r.matches(ip("10.1.2.207"), ip("10.1.1.5"), RuleDir::kAny));
+  EXPECT_FALSE(r.matches(ip("10.1.3.207"), ip("10.1.2.5"), RuleDir::kAny));
+}
+
+TEST(Rule, DirectionQualifier) {
+  Rule out_rule = pipe_rule(100, "10.0.0.1/32", "0.0.0.0/0", 1);
+  out_rule.dir = RuleDir::kOut;
+  EXPECT_TRUE(out_rule.matches(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kOut));
+  EXPECT_FALSE(out_rule.matches(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kIn));
+  // Diagnostic (kAny) passes see every rule.
+  EXPECT_TRUE(out_rule.matches(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kAny));
+}
+
+TEST(LinearClassifier, EmptyListImplicitAllow) {
+  LinearClassifier c;
+  c.rebuild({});
+  const auto result = c.classify(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kAny);
+  EXPECT_FALSE(result.denied);
+  EXPECT_TRUE(result.pipes.empty());
+  EXPECT_EQ(result.rules_scanned, 0u);
+}
+
+TEST(LinearClassifier, PipeRulesAccumulateInOrder) {
+  // The paper's Figure 7 path: the vnode's own pipe AND an inter-group
+  // latency pipe both apply to one packet (one_pass=0 semantics).
+  LinearClassifier c;
+  c.rebuild({
+      pipe_rule(100, "10.1.3.207/32", "0.0.0.0/0", 1),  // vnode uplink
+      pipe_rule(200, "10.1.0.0/16", "10.2.0.0/16", 2),  // group latency
+  });
+  const auto result = c.classify(ip("10.1.3.207"), ip("10.2.2.117"), RuleDir::kAny);
+  EXPECT_EQ(result.pipes, (std::vector<PipeId>{1, 2}));
+  EXPECT_EQ(result.rules_scanned, 2u);
+}
+
+TEST(LinearClassifier, DenyStopsScan) {
+  LinearClassifier c;
+  c.rebuild({
+      Rule{.number = 50, .src = cidr("10.9.0.0/16"), .dst = CidrBlock::any(),
+           .action = RuleAction::kDeny},
+      pipe_rule(100, "0.0.0.0/0", "0.0.0.0/0", 1),
+  });
+  const auto denied = c.classify(ip("10.9.1.1"), ip("10.0.0.1"), RuleDir::kAny);
+  EXPECT_TRUE(denied.denied);
+  EXPECT_TRUE(denied.pipes.empty());
+  EXPECT_EQ(denied.rules_scanned, 1u);
+
+  const auto passed = c.classify(ip("10.8.1.1"), ip("10.0.0.1"), RuleDir::kAny);
+  EXPECT_FALSE(passed.denied);
+  EXPECT_EQ(passed.pipes, (std::vector<PipeId>{1}));
+  EXPECT_EQ(passed.rules_scanned, 2u);
+}
+
+TEST(LinearClassifier, AllowStopsScan) {
+  LinearClassifier c;
+  c.rebuild({
+      Rule{.number = 10, .src = cidr("192.168.38.0/24"),
+           .dst = CidrBlock::any(), .action = RuleAction::kAllow},
+      pipe_rule(100, "0.0.0.0/0", "0.0.0.0/0", 1),
+  });
+  const auto result = c.classify(ip("192.168.38.1"), ip("10.0.0.1"), RuleDir::kAny);
+  EXPECT_FALSE(result.denied);
+  EXPECT_TRUE(result.pipes.empty());  // admin traffic bypasses shaping
+  EXPECT_EQ(result.rules_scanned, 1u);
+}
+
+TEST(LinearClassifier, ScanCountIsListLength) {
+  // Figure 6's mechanism: a non-matching packet walks every rule.
+  LinearClassifier c;
+  std::vector<Rule> rules;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    rules.push_back(Rule{.number = i,
+                         .src = cidr("255.255.255.255/32"),
+                         .dst = CidrBlock::any(),
+                         .action = RuleAction::kDeny});
+  }
+  c.rebuild(rules);
+  const auto result = c.classify(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kAny);
+  EXPECT_EQ(result.rules_scanned, 1000u);
+  EXPECT_FALSE(result.denied);
+}
+
+TEST(HashClassifier, MatchesSameAsLinear) {
+  const std::vector<Rule> rules = {
+      pipe_rule(100, "10.1.3.207/32", "0.0.0.0/0", 1),
+      pipe_rule(110, "0.0.0.0/0", "10.1.3.207/32", 2),
+      pipe_rule(200, "10.1.0.0/16", "10.2.0.0/16", 3),
+      pipe_rule(210, "10.1.0.0/16", "10.3.0.0/16", 4),
+  };
+  LinearClassifier lin;
+  HashClassifier hash;
+  lin.rebuild(rules);
+  hash.rebuild(rules);
+
+  const std::pair<const char*, const char*> probes[] = {
+      {"10.1.3.207", "10.2.2.117"}, {"10.2.2.117", "10.1.3.207"},
+      {"10.1.3.207", "10.3.0.5"},   {"10.1.2.7", "10.2.0.9"},
+      {"10.5.0.1", "10.6.0.1"},
+  };
+  for (const auto& [s, d] : probes) {
+    const auto a = lin.classify(ip(s), ip(d), RuleDir::kAny);
+    const auto b = hash.classify(ip(s), ip(d), RuleDir::kAny);
+    EXPECT_EQ(a.pipes, b.pipes) << s << " -> " << d;
+    EXPECT_EQ(a.denied, b.denied);
+  }
+}
+
+TEST(HashClassifier, ScanCountIndependentOfHostRuleCount) {
+  // The ablation the paper wished for: host-addressed rules are indexed,
+  // so classification cost does not grow with the number of hosted vnodes.
+  std::vector<Rule> rules;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const Ipv4Addr host = ip("10.0.0.0").offset(i + 1);
+    rules.push_back(Rule{.number = 2 * i,
+                         .src = CidrBlock{host, 32},
+                         .dst = CidrBlock::any(),
+                         .action = RuleAction::kPipe,
+                         .pipe = i + 1});
+  }
+  rules.push_back(pipe_rule(100000, "10.1.0.0/16", "10.2.0.0/16", 5000));
+  HashClassifier hash;
+  hash.rebuild(rules);
+  const auto result = hash.classify(ip("10.0.0.5"), ip("10.9.9.9"), RuleDir::kAny);
+  ASSERT_EQ(result.pipes.size(), 1u);
+  EXPECT_EQ(result.pipes[0], 5u);
+  EXPECT_LE(result.rules_scanned, 4u);  // hit + residual, not 2001
+}
+
+TEST(HashClassifier, PreservesRuleOrderAcrossBuckets) {
+  // A dst-host rule numbered earlier must apply before a src-host rule
+  // numbered later, even though they live in different buckets.
+  const std::vector<Rule> rules = {
+      Rule{.number = 10, .src = CidrBlock::any(), .dst = cidr("10.0.0.2/32"),
+           .action = RuleAction::kDeny},
+      pipe_rule(20, "10.0.0.1/32", "0.0.0.0/0", 1),
+  };
+  HashClassifier hash;
+  hash.rebuild(rules);
+  const auto result = hash.classify(ip("10.0.0.1"), ip("10.0.0.2"), RuleDir::kAny);
+  EXPECT_TRUE(result.denied);
+  EXPECT_TRUE(result.pipes.empty());
+}
+
+}  // namespace
+}  // namespace p2plab::ipfw

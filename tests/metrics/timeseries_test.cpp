@@ -1,0 +1,90 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab::metrics {
+namespace {
+
+SimTime at_sec(int s) { return SimTime::zero() + Duration::sec(s); }
+
+TEST(TimeSeries, ValueAtStepSemantics) {
+  TimeSeries ts("pct");
+  ts.add(at_sec(10), 1.0);
+  ts.add(at_sec(20), 2.0);
+  ts.add(at_sec(30), 3.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(5)), 0.0);   // before first
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(10)), 1.0);  // exactly at sample
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(15)), 1.0);  // holds until next
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(20)), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(99)), 3.0);  // holds after last
+}
+
+TEST(TimeSeries, ValueAtCustomBefore) {
+  TimeSeries ts;
+  ts.add(at_sec(10), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(1), -1.0), -1.0);
+}
+
+TEST(TimeSeries, EmptySeries) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.value_at(at_sec(10)), 0.0);
+}
+
+TEST(TimeSeries, MetadataAccessors) {
+  TimeSeries ts("node50");
+  ts.add(at_sec(1), 10.0);
+  ts.add(at_sec(2), 20.0);
+  EXPECT_EQ(ts.name(), "node50");
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.first_time(), at_sec(1));
+  EXPECT_EQ(ts.last_time(), at_sec(2));
+  EXPECT_DOUBLE_EQ(ts.last_value(), 20.0);
+}
+
+TEST(TimeSeries, ResampleGrid) {
+  TimeSeries ts;
+  ts.add(at_sec(2), 1.0);
+  ts.add(at_sec(5), 2.0);
+  const auto grid = ts.resample(Duration::sec(1), at_sec(6));
+  ASSERT_EQ(grid.size(), 7u);  // t = 0..6
+  EXPECT_DOUBLE_EQ(grid[0], 0.0);
+  EXPECT_DOUBLE_EQ(grid[1], 0.0);
+  EXPECT_DOUBLE_EQ(grid[2], 1.0);
+  EXPECT_DOUBLE_EQ(grid[4], 1.0);
+  EXPECT_DOUBLE_EQ(grid[5], 2.0);
+  EXPECT_DOUBLE_EQ(grid[6], 2.0);
+}
+
+TEST(TimeSeries, SumResampled) {
+  TimeSeries a;
+  TimeSeries b;
+  a.add(at_sec(1), 10.0);
+  b.add(at_sec(2), 5.0);
+  const auto total =
+      sum_resampled({&a, &b}, Duration::sec(1), at_sec(3));
+  ASSERT_EQ(total.size(), 4u);
+  EXPECT_DOUBLE_EQ(total[0], 0.0);
+  EXPECT_DOUBLE_EQ(total[1], 10.0);
+  EXPECT_DOUBLE_EQ(total[2], 15.0);
+  EXPECT_DOUBLE_EQ(total[3], 15.0);
+}
+
+// Property: value_at binary search agrees with a linear scan.
+TEST(TimeSeries, ValueAtMatchesLinearScan) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) {
+    ts.add(at_sec(i * 3), static_cast<double>(i));
+  }
+  for (int probe = 0; probe < 300; probe += 7) {
+    double expected = -1.0;  // "before" marker
+    for (const auto& [t, v] : ts.points()) {
+      if (t <= at_sec(probe)) expected = v;
+    }
+    if (expected < 0) expected = 0.0;
+    EXPECT_DOUBLE_EQ(ts.value_at(at_sec(probe)), expected) << probe;
+  }
+}
+
+}  // namespace
+}  // namespace p2plab::metrics

@@ -1,0 +1,64 @@
+#include "metrics/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace p2plab::metrics {
+namespace {
+
+TEST(CsvWriter, MirrorsToResultsDir) {
+  char dir_template[] = "/tmp/p2plab_trace_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("P2PLAB_RESULTS_DIR", dir_template, 1);
+  {
+    CsvWriter csv("unit_test_table", {"a", "b"});
+    csv.row(std::vector<double>{1.0, 2.5});
+    csv.row(std::vector<std::string>{"x", "y"});
+    csv.comment("note");
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  unsetenv("P2PLAB_RESULTS_DIR");
+
+  std::ifstream file(std::string(dir_template) + "/unit_test_table.csv");
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n1,2.5\nx,y\n# note\n");
+}
+
+TEST(CsvWriter, NoEnvNoFile) {
+  unsetenv("P2PLAB_RESULTS_DIR");
+  CsvWriter csv("unmirrored", {"only"});
+  csv.row(std::vector<double>{42.0});
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RowWidthChecked) {
+  unsetenv("P2PLAB_RESULTS_DIR");
+  CsvWriter csv("strict", {"a", "b"});
+  EXPECT_DEATH(csv.row(std::vector<double>{1.0}), "width");
+}
+
+TEST(CsvWriter, NumbersFormattedCompactly) {
+  char dir_template[] = "/tmp/p2plab_trace_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("P2PLAB_RESULTS_DIR", dir_template, 1);
+  {
+    CsvWriter csv("fmt", {"v"});
+    csv.row(std::vector<double>{100.0});
+    csv.row(std::vector<double>{0.125});
+    csv.row(std::vector<double>{1e9});
+  }
+  unsetenv("P2PLAB_RESULTS_DIR");
+  std::ifstream file(std::string(dir_template) + "/fmt.csv");
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "v\n100\n0.125\n1000000000\n");
+}
+
+}  // namespace
+}  // namespace p2plab::metrics

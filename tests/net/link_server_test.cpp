@@ -1,0 +1,82 @@
+#include "net/link_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab::net {
+namespace {
+
+SimTime at_ms(int ms) { return SimTime::zero() + Duration::ms(ms); }
+
+TEST(LinkServer, IdleLinkDelayIsServicePlusLatency) {
+  LinkServer link(Bandwidth::gbps(1), Duration::us(20), DataSize::kib(512));
+  const auto delay = link.transmit(SimTime::zero(), DataSize::kib(16));
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_NEAR(delay->to_micros(), 131.072 + 20.0, 0.001);
+}
+
+TEST(LinkServer, BackToBackSerializes) {
+  LinkServer link(Bandwidth::mbps(10), Duration::zero(), DataSize::mib(1));
+  const auto d1 = link.transmit(SimTime::zero(), DataSize::kib(16));
+  const auto d2 = link.transmit(SimTime::zero(), DataSize::kib(16));
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_NEAR(d2->to_seconds(), 2 * d1->to_seconds(), 1e-9);
+}
+
+TEST(LinkServer, BacklogDrainsOverTime) {
+  LinkServer link(Bandwidth::mbps(10), Duration::zero(), DataSize::mib(1));
+  link.transmit(SimTime::zero(), DataSize::kib(64));  // ~52 ms of backlog
+  EXPECT_GT(link.backlog_at(at_ms(10)).to_millis(), 30.0);
+  EXPECT_DOUBLE_EQ(link.backlog_at(at_ms(100)).to_millis(), 0.0);
+  // A later packet after the drain sees an idle link again.
+  const auto delay = link.transmit(at_ms(100), DataSize::kib(16));
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_NEAR(delay->to_millis(), 13.1, 0.1);
+}
+
+TEST(LinkServer, QueueOverflowDrops) {
+  LinkServer link(Bandwidth::kbps(64), Duration::zero(),
+                  DataSize::bytes(3000));
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (link.transmit(SimTime::zero(), DataSize::bytes(1500))) ++accepted;
+  }
+  EXPECT_LT(accepted, 10);
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(link.stats().dropped, static_cast<std::uint64_t>(10 - accepted));
+}
+
+TEST(LinkServer, UnlimitedBandwidthIsPureLatency) {
+  LinkServer link(Bandwidth::unlimited(), Duration::ms(5), DataSize::kib(1));
+  for (int i = 0; i < 100; ++i) {
+    const auto delay = link.transmit(SimTime::zero(), DataSize::mib(1));
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_EQ(*delay, Duration::ms(5));
+  }
+}
+
+TEST(LinkServer, StatsAccounting) {
+  LinkServer link(Bandwidth::gbps(1), Duration::zero(), DataSize::mib(1));
+  link.transmit(SimTime::zero(), DataSize::kib(1));
+  link.transmit(SimTime::zero(), DataSize::kib(2));
+  EXPECT_EQ(link.stats().packets, 2u);
+  EXPECT_EQ(link.stats().bytes, 3u * 1024);
+  EXPECT_EQ(link.stats().dropped, 0u);
+}
+
+// Property: total transfer time of n packets equals n * service (work
+// conservation, no idle gaps with a saturating arrival pattern).
+TEST(LinkServer, WorkConservation) {
+  LinkServer link(Bandwidth::mbps(1), Duration::zero(), DataSize::mib(16));
+  Duration last = Duration::zero();
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    const auto delay = link.transmit(SimTime::zero(), DataSize::kib(8));
+    ASSERT_TRUE(delay.has_value());
+    last = *delay;
+  }
+  const double expected = n * (8.0 * 1024 * 8 / 1e6);
+  EXPECT_NEAR(last.to_seconds(), expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace p2plab::net

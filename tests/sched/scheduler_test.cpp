@@ -1,0 +1,234 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/stats.hpp"
+#include "workload/tasks.hpp"
+
+namespace p2plab::sched {
+namespace {
+
+using workload::batch;
+
+HostConfig config_for(SchedulerKind kind, std::uint64_t seed = 1) {
+  HostConfig cfg;
+  cfg.kind = kind;
+  cfg.seed = seed;
+  return cfg;
+}
+
+double spread_seconds(const RunResult& result) {
+  SimTime lo = SimTime::max();
+  SimTime hi = SimTime::zero();
+  for (const auto& p : result.procs) {
+    lo = std::min(lo, p.finish);
+    hi = std::max(hi, p.finish);
+  }
+  return (hi - lo).to_seconds();
+}
+
+TEST(CpuHost, SingleProcessRunsForItsWork) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const ProcSpec spec{.work = Duration::sec(5)};
+  const auto result = host.run(std::vector<ProcSpec>{spec});
+  ASSERT_EQ(result.procs.size(), 1u);
+  // Finish = work + context-switch overhead (one per 10 ms quantum).
+  const double finish = result.procs[0].finish.to_seconds();
+  EXPECT_NEAR(finish, 5.0, 0.01);
+  EXPECT_GE(finish, 5.0);
+  EXPECT_NEAR(result.procs[0].cpu_occupied.to_seconds(), 5.0, 1e-9);
+}
+
+TEST(CpuHost, TwoProcessesUseBothCpus) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const auto result = host.run(batch({.work = Duration::sec(5)}, 2));
+  // Two CPUs -> both finish in ~5 s, not 10 s.
+  for (const auto& p : result.procs) {
+    EXPECT_NEAR(p.finish.to_seconds(), 5.0, 0.05);
+  }
+}
+
+TEST(CpuHost, OversubscriptionScalesMakespan) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const auto result = host.run(batch({.work = Duration::sec(5)}, 100));
+  // 100 procs x 5 s over 2 CPUs = 250 s of wall clock (plus overhead).
+  EXPECT_NEAR(result.makespan.to_seconds(), 250.0, 2.0);
+}
+
+TEST(CpuHost, WorkConservation) {
+  // Sum of occupied CPU time equals total work regardless of scheduler.
+  for (auto kind : {SchedulerKind::kBsd4, SchedulerKind::kUle,
+                    SchedulerKind::kUleFreebsd5, SchedulerKind::kLinuxOne}) {
+    CpuHost host(config_for(kind));
+    const auto result = host.run(batch({.work = Duration::sec(2)}, 30));
+    double total = 0.0;
+    for (const auto& p : result.procs) total += p.cpu_occupied.to_seconds();
+    EXPECT_NEAR(total, 60.0, 1e-6) << to_string(kind);
+  }
+}
+
+TEST(CpuHost, MakespanBoundedByWorkOverCpus) {
+  // Makespan >= total work / n_cpus for any scheduler (no free lunch).
+  for (auto kind : {SchedulerKind::kBsd4, SchedulerKind::kUle,
+                    SchedulerKind::kUleFreebsd5, SchedulerKind::kLinuxOne}) {
+    CpuHost host(config_for(kind));
+    const auto result = host.run(batch({.work = Duration::sec(1)}, 40));
+    EXPECT_GE(result.makespan.to_seconds(), 40.0 / 2.0 - 1e-9)
+        << to_string(kind);
+  }
+}
+
+TEST(CpuHost, Bsd4IsFair) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const auto result = host.run(batch({.work = Duration::sec(5)}, 100));
+  // Global round robin: everyone finishes within a few quanta.
+  EXPECT_LT(spread_seconds(result), 5.0);
+}
+
+TEST(CpuHost, LinuxIsFair) {
+  CpuHost host(config_for(SchedulerKind::kLinuxOne));
+  const auto result = host.run(batch({.work = Duration::sec(5)}, 100));
+  EXPECT_LT(spread_seconds(result), 5.0);
+}
+
+TEST(CpuHost, UleSpreadsCompletionTimes) {
+  // Figure 3: ULE shows a wide completion-time spread, 4BSD does not.
+  CpuHost ule(config_for(SchedulerKind::kUle, 7));
+  CpuHost bsd(config_for(SchedulerKind::kBsd4, 7));
+  const auto spec = workload::fairness_task();
+  const double ule_spread = spread_seconds(ule.run(batch(spec, 100)));
+  const double bsd_spread = spread_seconds(bsd.run(batch(spec, 100)));
+  EXPECT_GT(ule_spread, 10.0);
+  EXPECT_GT(ule_spread, 5.0 * bsd_spread);
+}
+
+TEST(CpuHost, UleFreebsd5IsWorseThanUle6) {
+  // The FreeBSD 5 ULE pathology (reference [12]): even wider spread.
+  metrics::Summary ule6;
+  metrics::Summary ule5;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    CpuHost h6(config_for(SchedulerKind::kUle, seed));
+    CpuHost h5(config_for(SchedulerKind::kUleFreebsd5, seed));
+    const auto spec = workload::fairness_task();
+    ule6.add(spread_seconds(h6.run(batch(spec, 100))));
+    ule5.add(spread_seconds(h5.run(batch(spec, 100))));
+  }
+  EXPECT_GT(ule5.mean(), ule6.mean());
+}
+
+TEST(CpuHost, MemoryPressureSlowsFreeBsdNotLinux) {
+  // Figure 2: at 50 matrix processes the working set (3000 MiB) exceeds
+  // RAM (2 GiB); FreeBSD thrashes, Linux barely notices.
+  const auto spec = workload::matrix_task();
+  CpuHost bsd(config_for(SchedulerKind::kBsd4));
+  CpuHost linux_host(config_for(SchedulerKind::kLinuxOne));
+  const auto r_bsd = bsd.run(batch(spec, 50));
+  const auto r_linux = linux_host.run(batch(spec, 50));
+  const double t_bsd =
+      r_bsd.avg_normalized_time_sec(bsd.traits().batch_fixed_cost);
+  const double t_linux =
+      r_linux.avg_normalized_time_sec(linux_host.traits().batch_fixed_cost);
+  EXPECT_GT(t_bsd, 4.0 * spec.work.to_seconds());
+  EXPECT_LT(t_linux, 1.5 * spec.work.to_seconds());
+}
+
+TEST(CpuHost, NoMemoryPressureBelowRam) {
+  const auto spec = workload::matrix_task();
+  CpuHost bsd(config_for(SchedulerKind::kBsd4));
+  const auto result = bsd.run(batch(spec, 10));  // 600 MiB < 2 GiB
+  const double t =
+      result.avg_normalized_time_sec(bsd.traits().batch_fixed_cost);
+  EXPECT_NEAR(t, spec.work.to_seconds(), 0.05);
+}
+
+TEST(CpuHost, NormalizedTimeFlatInProcessCount) {
+  // Figure 1: per-process time does not grow with concurrency.
+  const auto spec = workload::ackermann_task();
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const double t10 = host.run(batch(spec, 10))
+                         .avg_normalized_time_sec(host.traits().batch_fixed_cost);
+  const double t500 = host.run(batch(spec, 500))
+                          .avg_normalized_time_sec(host.traits().batch_fixed_cost);
+  EXPECT_NEAR(t10, spec.work.to_seconds(), 0.01);
+  EXPECT_NEAR(t500, spec.work.to_seconds(), 0.01);
+  // ...and decreases slightly (fixed batch costs amortize).
+  EXPECT_LT(t500, t10);
+}
+
+TEST(CpuHost, StaggeredSpawnsRespectSpawnTimes) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  auto specs = workload::staggered_batch({.work = Duration::sec(1)}, 5,
+                                         Duration::sec(10));
+  const auto result = host.run(specs);
+  for (size_t i = 0; i < result.procs.size(); ++i) {
+    EXPECT_GE(result.procs[i].first_run, result.procs[i].spawn);
+    EXPECT_EQ(result.procs[i].spawn,
+              SimTime::zero() + Duration::sec(10) * static_cast<std::int64_t>(i));
+    // With 2 idle CPUs, each proc finishes before the next spawns.
+    EXPECT_NEAR((result.procs[i].finish - result.procs[i].spawn).to_seconds(),
+                1.0, 0.01);
+  }
+}
+
+TEST(CpuHost, DeterministicForSeed) {
+  const auto spec = workload::fairness_task();
+  CpuHost a(config_for(SchedulerKind::kUle, 42));
+  CpuHost b(config_for(SchedulerKind::kUle, 42));
+  const auto ra = a.run(batch(spec, 50));
+  const auto rb = b.run(batch(spec, 50));
+  ASSERT_EQ(ra.procs.size(), rb.procs.size());
+  for (size_t i = 0; i < ra.procs.size(); ++i) {
+    EXPECT_EQ(ra.procs[i].finish, rb.procs[i].finish);
+  }
+}
+
+TEST(CpuHost, WorkNoiseChangesIndividualsNotTotal) {
+  auto cfg = config_for(SchedulerKind::kBsd4, 5);
+  cfg.work_noise = 0.02;
+  CpuHost host(cfg);
+  const auto result = host.run(batch({.work = Duration::sec(5)}, 50));
+  metrics::Summary occupied;
+  for (const auto& p : result.procs) occupied.add(p.cpu_occupied.to_seconds());
+  EXPECT_NEAR(occupied.mean(), 5.0, 0.1);
+  EXPECT_GT(occupied.stddev(), 0.01);
+}
+
+TEST(CpuHost, ContextSwitchesCounted) {
+  CpuHost host(config_for(SchedulerKind::kBsd4));
+  const auto result = host.run(batch({.work = Duration::sec(1)}, 4));
+  // Each proc needs ~100 quanta of 10 ms.
+  EXPECT_NEAR(static_cast<double>(result.context_switches), 400.0, 8.0);
+}
+
+TEST(SchedulerTraits, NamesAndKinds) {
+  EXPECT_STREQ(to_string(SchedulerKind::kBsd4), "4BSD");
+  EXPECT_STREQ(to_string(SchedulerKind::kUle), "ULE");
+  EXPECT_STREQ(to_string(SchedulerKind::kUleFreebsd5), "ULE-FreeBSD5");
+  EXPECT_STREQ(to_string(SchedulerKind::kLinuxOne), "Linux-2.6");
+  EXPECT_TRUE(SchedulerTraits::for_kind(SchedulerKind::kUle).per_cpu_queues);
+  EXPECT_FALSE(
+      SchedulerTraits::for_kind(SchedulerKind::kBsd4).per_cpu_queues);
+  EXPECT_FALSE(
+      SchedulerTraits::for_kind(SchedulerKind::kUleFreebsd5).steal_on_idle);
+  EXPECT_LT(SchedulerTraits::for_kind(SchedulerKind::kLinuxOne).vm_thrash_factor,
+            SchedulerTraits::for_kind(SchedulerKind::kBsd4).vm_thrash_factor);
+}
+
+// Parameterized sweep: fairness-ordering property holds across seeds.
+class FairnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairnessSweep, UleSpreadExceedsBsd4Spread) {
+  const auto spec = workload::fairness_task();
+  CpuHost ule(config_for(SchedulerKind::kUle, GetParam()));
+  CpuHost bsd(config_for(SchedulerKind::kBsd4, GetParam()));
+  EXPECT_GT(spread_seconds(ule.run(batch(spec, 100))),
+            spread_seconds(bsd.run(batch(spec, 100))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairnessSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace p2plab::sched

@@ -1,0 +1,43 @@
+#include "workload/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2plab::workload {
+namespace {
+
+TEST(Ackermann, KnownValues) {
+  EXPECT_EQ(ackermann(0, 0), 1u);
+  EXPECT_EQ(ackermann(1, 1), 3u);
+  EXPECT_EQ(ackermann(2, 2), 7u);
+  EXPECT_EQ(ackermann(3, 3), 61u);
+  // A(3, n) = 2^(n+3) - 3.
+  EXPECT_EQ(ackermann(3, 7), (1u << 10) - 3);
+  EXPECT_EQ(ackermann(3, 10), (1u << 13) - 3);
+}
+
+TEST(Tasks, CalibrationMatchesPaper) {
+  EXPECT_NEAR(ackermann_task().work.to_seconds(), 1.65, 1e-9);
+  EXPECT_NEAR(fairness_task().work.to_seconds(), 5.0, 1e-9);
+  EXPECT_GT(matrix_task().working_set, DataSize::mib(32));
+}
+
+TEST(Tasks, BatchReplicates) {
+  const auto specs = batch(ackermann_task(), 7);
+  ASSERT_EQ(specs.size(), 7u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.work, ackermann_task().work);
+    EXPECT_EQ(s.spawn_time, SimTime::zero());
+  }
+}
+
+TEST(Tasks, StaggeredBatchSpacesSpawns) {
+  const auto specs = staggered_batch(fairness_task(), 4, Duration::sec(10));
+  ASSERT_EQ(specs.size(), 4u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].spawn_time,
+              SimTime::zero() + Duration::sec(10) * static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace p2plab::workload

@@ -1,0 +1,203 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace p2plab::sim {
+namespace {
+
+TEST(Simulation, StartsAtZeroWithEmptyQueue) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, DispatchesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::zero() + Duration::ms(20), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::zero() + Duration::ms(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::zero() + Duration::ms(30), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::ms(30));
+}
+
+TEST(Simulation, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::zero() + Duration::ms(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired_at;
+  sim.schedule_after(Duration::ms(10), [&] {
+    sim.schedule_after(Duration::ms(5),
+                       [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, SimTime::zero() + Duration::ms(15));
+}
+
+TEST(Simulation, ClockVisibleInsideCallback) {
+  Simulation sim;
+  sim.schedule_after(Duration::us(7), [&] {
+    EXPECT_EQ(sim.now(), SimTime::zero() + Duration::us(7));
+  });
+  sim.run();
+}
+
+TEST(Simulation, CancelPreventsDispatch) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(Duration::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeOnInvalid) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(Duration::ms(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  sim.run();
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(Duration::ms(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, PendingEventCountTracksCancels) {
+  Simulation sim;
+  const EventId a = sim.schedule_after(Duration::ms(1), [] {});
+  sim.schedule_after(Duration::ms(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(Duration::ms(10), [&] { ++fired; });
+  sim.schedule_after(Duration::ms(20), [&] { ++fired; });
+  sim.schedule_after(Duration::ms(30), [&] { ++fired; });
+  sim.run_until(SimTime::zero() + Duration::ms(20));
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline run
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::ms(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(SimTime::zero() + Duration::sec(5));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::sec(5));
+}
+
+TEST(Simulation, RunWhileHonorsPredicate) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_after(Duration::ms(i), [&] { ++fired; });
+  }
+  sim.run_while([&] { return fired < 4; });
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulation, EventsScheduledDuringRunAreDispatched) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(Duration::ms(1), recurse);
+  };
+  sim.schedule_after(Duration::ms(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::ms(5));
+}
+
+TEST(Simulation, DispatchedEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(Duration::ms(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched_events(), 7u);
+}
+
+// Property: random schedule order still dispatches in nondecreasing time.
+TEST(Simulation, RandomScheduleDispatchesMonotonically) {
+  Simulation sim;
+  Rng rng(99);
+  std::vector<SimTime> dispatch_times;
+  for (int i = 0; i < 2000; ++i) {
+    const auto when =
+        SimTime::zero() + Duration::us(static_cast<std::int64_t>(rng.uniform(100000)));
+    sim.schedule_at(when, [&, when] {
+      EXPECT_EQ(sim.now(), when);
+      dispatch_times.push_back(sim.now());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(dispatch_times.size(), 2000u);
+  for (size_t i = 1; i < dispatch_times.size(); ++i) {
+    EXPECT_LE(dispatch_times[i - 1], dispatch_times[i]);
+  }
+}
+
+TEST(PeriodicTask, FiresOnCadence) {
+  Simulation sim;
+  PeriodicTask task;
+  std::vector<SimTime> fires;
+  task.start(sim, Duration::sec(10), Duration::sec(1),
+             [&] { fires.push_back(sim.now()); });
+  sim.run_until(SimTime::zero() + Duration::sec(31));
+  ASSERT_EQ(fires.size(), 4u);  // t = 1, 11, 21, 31
+  EXPECT_EQ(fires[0], SimTime::zero() + Duration::sec(1));
+  EXPECT_EQ(fires[3], SimTime::zero() + Duration::sec(31));
+  task.stop();
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromInsideCallback) {
+  Simulation sim;
+  PeriodicTask task;
+  int fires = 0;
+  task.start(sim, Duration::sec(1), Duration::sec(1), [&] {
+    if (++fires == 3) task.stop();
+  });
+  sim.run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, RestartReplacesSchedule) {
+  Simulation sim;
+  PeriodicTask task;
+  int first = 0;
+  int second = 0;
+  task.start(sim, Duration::sec(1), Duration::zero(), [&] { ++first; });
+  task.start(sim, Duration::sec(1), Duration::zero(), [&] { ++second; });
+  sim.run_until(SimTime::zero() + Duration::millis(2500));
+  task.stop();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 3);  // t = 0, 1, 2
+}
+
+}  // namespace
+}  // namespace p2plab::sim

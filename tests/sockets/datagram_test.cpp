@@ -1,0 +1,173 @@
+// UDP datagram sockets: the "similar approach is possible for UDP" path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sockets/socket.hpp"
+
+namespace p2plab::sockets {
+namespace {
+
+Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
+CidrBlock cidr(const char* text) { return *CidrBlock::parse(text); }
+
+class DatagramTest : public ::testing::Test {
+ protected:
+  DatagramTest() {
+    hostA = &network.add_host("node1", ip("192.168.38.1"));
+    hostB = &network.add_host("node2", ip("192.168.38.2"));
+    vnA = std::make_unique<vnode::VirtualNode>(*hostA, 1, ip("10.0.0.1"));
+    vnB = std::make_unique<vnode::VirtualNode>(*hostB, 2, ip("10.0.0.51"));
+    procA = std::make_unique<vnode::Process>(*vnA);
+    procB = std::make_unique<vnode::Process>(*vnB);
+    apiA = std::make_unique<SocketApi>(mgr, *procA);
+    apiB = std::make_unique<SocketApi>(mgr, *procB);
+  }
+
+  Message payload(std::uint32_t tag, std::uint64_t bytes = 100) {
+    Message m;
+    m.type = tag;
+    m.size = DataSize::bytes(bytes);
+    return m;
+  }
+
+  sim::Simulation sim;
+  net::Network network{sim, Rng{1}};
+  SocketManager mgr{network};
+  net::Host* hostA = nullptr;
+  net::Host* hostB = nullptr;
+  std::unique_ptr<vnode::VirtualNode> vnA;
+  std::unique_ptr<vnode::VirtualNode> vnB;
+  std::unique_ptr<vnode::Process> procA;
+  std::unique_ptr<vnode::Process> procB;
+  std::unique_ptr<SocketApi> apiA;
+  std::unique_ptr<SocketApi> apiB;
+};
+
+TEST_F(DatagramTest, BindInterceptedToVnodeAddress) {
+  auto sock = apiA->udp_bind(5000);
+  EXPECT_EQ(sock->local_ip(), ip("10.0.0.1"));
+  EXPECT_EQ(sock->local_port(), 5000);
+}
+
+TEST_F(DatagramTest, SendAndReceiveWithSourceAddress) {
+  auto server = apiB->udp_bind(5000);
+  Ipv4Addr from;
+  std::uint16_t from_port = 0;
+  std::uint32_t got_tag = 0;
+  server->on_message([&](Message&& m, Ipv4Addr src, std::uint16_t src_port) {
+    got_tag = m.type;
+    from = src;
+    from_port = src_port;
+  });
+  auto client = apiA->udp_bind();
+  client->send_to(ip("10.0.0.51"), 5000, payload(77));
+  sim.run();
+  EXPECT_EQ(got_tag, 77u);
+  EXPECT_EQ(from, ip("10.0.0.1"));
+  EXPECT_EQ(from_port, client->local_port());
+  EXPECT_EQ(server->datagrams_received(), 1u);
+  EXPECT_EQ(client->datagrams_sent(), 1u);
+}
+
+TEST_F(DatagramTest, ReplyPath) {
+  auto server = apiB->udp_bind(5000);
+  server->on_message(
+      [&](Message&&, Ipv4Addr src, std::uint16_t src_port) {
+        server->send_to(src, src_port, payload(2));
+      });
+  auto client = apiA->udp_bind();
+  std::uint32_t reply = 0;
+  client->on_message(
+      [&](Message&& m, Ipv4Addr, std::uint16_t) { reply = m.type; });
+  client->send_to(ip("10.0.0.51"), 5000, payload(1));
+  sim.run();
+  EXPECT_EQ(reply, 2u);
+}
+
+TEST_F(DatagramTest, NoReliability) {
+  // 50% loss on A's uplink: roughly half the datagrams vanish silently.
+  const auto lossy = hostA->firewall().create_pipe(
+      {.bandwidth = Bandwidth::mbps(10), .loss_rate = 0.5,
+       .queue_limit = DataSize::mib(1)});
+  hostA->firewall().add_rule({.number = 100, .src = cidr("10.0.0.1/32"),
+                              .dst = CidrBlock::any(),
+                              .dir = ipfw::RuleDir::kOut,
+                              .action = ipfw::RuleAction::kPipe,
+                              .pipe = lossy});
+  auto server = apiB->udp_bind(5000);
+  int received = 0;
+  server->on_message([&](Message&&, Ipv4Addr, std::uint16_t) { ++received; });
+  auto client = apiA->udp_bind();
+  for (int i = 0; i < 500; ++i) {
+    client->send_to(ip("10.0.0.51"), 5000, payload(1));
+  }
+  sim.run();
+  EXPECT_GT(received, 175);
+  EXPECT_LT(received, 325);
+}
+
+TEST_F(DatagramTest, ShapedByAccessPipes) {
+  const auto up = hostA->firewall().create_pipe(
+      {.bandwidth = Bandwidth::kbps(128), .delay = Duration::ms(30),
+       .queue_limit = DataSize::mib(1)});
+  hostA->firewall().add_rule({.number = 100, .src = cidr("10.0.0.1/32"),
+                              .dst = CidrBlock::any(),
+                              .dir = ipfw::RuleDir::kOut,
+                              .action = ipfw::RuleAction::kPipe, .pipe = up});
+  auto server = apiB->udp_bind(5000);
+  SimTime last;
+  int received = 0;
+  server->on_message([&](Message&&, Ipv4Addr, std::uint16_t) {
+    ++received;
+    last = sim.now();
+  });
+  auto client = apiA->udp_bind();
+  for (int i = 0; i < 4; ++i) {
+    client->send_to(ip("10.0.0.51"), 5000, payload(1, 16384));
+  }
+  sim.run();
+  EXPECT_EQ(received, 4);
+  // 4 x ~16.4 KiB at 128 kb/s ~ 4.1 s plus latency.
+  EXPECT_NEAR(last.to_seconds(), 4.2, 0.2);
+}
+
+TEST_F(DatagramTest, PortsIndependentFromTcp) {
+  // The same port number can be bound by TCP and UDP simultaneously.
+  auto listener = apiB->listen(5000, [](StreamSocketPtr) {});
+  auto udp = apiB->udp_bind(5000);
+  EXPECT_EQ(udp->local_port(), 5000);
+}
+
+TEST_F(DatagramTest, CloseStopsDelivery) {
+  auto server = apiB->udp_bind(5000);
+  int received = 0;
+  server->on_message([&](Message&&, Ipv4Addr, std::uint16_t) { ++received; });
+  auto client = apiA->udp_bind();
+  client->send_to(ip("10.0.0.51"), 5000, payload(1));
+  sim.run();
+  server->close();
+  client->send_to(ip("10.0.0.51"), 5000, payload(1));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  // Sending from a closed socket is a no-op.
+  client->close();
+  client->send_to(ip("10.0.0.51"), 5000, payload(1));
+  EXPECT_EQ(client->datagrams_sent(), 2u);
+}
+
+TEST_F(DatagramTest, EphemeralPortsDistinct) {
+  auto s1 = apiA->udp_bind();
+  auto s2 = apiA->udp_bind();
+  EXPECT_NE(s1->local_port(), s2->local_port());
+}
+
+TEST_F(DatagramTest, StaticBinaryLeaksPhysicalAddress) {
+  vnode::Process static_proc(*vnA, vnode::LinkMode::kStatic);
+  SocketApi static_api(mgr, static_proc);
+  auto sock = static_api.udp_bind(6000);
+  EXPECT_EQ(sock->local_ip(), ip("192.168.38.1"));  // admin address
+}
+
+}  // namespace
+}  // namespace p2plab::sockets

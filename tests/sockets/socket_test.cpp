@@ -1,0 +1,306 @@
+#include "sockets/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace p2plab::sockets {
+namespace {
+
+Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
+CidrBlock cidr(const char* text) { return *CidrBlock::parse(text); }
+
+/// Two hosts, one vnode each, a SocketApi per vnode process.
+class SocketTest : public ::testing::Test {
+ protected:
+  SocketTest() {
+    hostA = &network.add_host("node1", ip("192.168.38.1"));
+    hostB = &network.add_host("node2", ip("192.168.38.2"));
+    vnA = std::make_unique<vnode::VirtualNode>(*hostA, 1, ip("10.0.0.1"));
+    vnB = std::make_unique<vnode::VirtualNode>(*hostB, 2, ip("10.0.0.51"));
+    procA = std::make_unique<vnode::Process>(*vnA);
+    procB = std::make_unique<vnode::Process>(*vnB);
+    apiA = std::make_unique<SocketApi>(mgr, *procA);
+    apiB = std::make_unique<SocketApi>(mgr, *procB);
+  }
+
+  Message text_message(const std::string& text) {
+    return Message{.type = 1,
+                   .size = DataSize::bytes(text.size()),
+                   .body = std::make_shared<const std::string>(text)};
+  }
+
+  sim::Simulation sim;
+  net::Network network{sim, Rng{1}};
+  SocketManager mgr{network};
+  net::Host* hostA = nullptr;
+  net::Host* hostB = nullptr;
+  std::unique_ptr<vnode::VirtualNode> vnA;
+  std::unique_ptr<vnode::VirtualNode> vnB;
+  std::unique_ptr<vnode::Process> procA;
+  std::unique_ptr<vnode::Process> procB;
+  std::unique_ptr<SocketApi> apiA;
+  std::unique_ptr<SocketApi> apiB;
+};
+
+TEST_F(SocketTest, ConnectEstablishesBothEnds) {
+  StreamSocketPtr client;
+  StreamSocketPtr server;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) { server = s; });
+  apiA->connect(ip("10.0.0.51"), 6881,
+                [&](StreamSocketPtr s) { client = s; });
+  sim.run();
+  ASSERT_TRUE(client != nullptr);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_TRUE(client->connected());
+  EXPECT_TRUE(server->connected());
+  // Interception bound the client to its vnode address, not the admin IP.
+  EXPECT_EQ(client->local_ip(), ip("10.0.0.1"));
+  EXPECT_EQ(server->remote_ip(), ip("10.0.0.1"));
+  EXPECT_EQ(client->remote_port(), 6881);
+  EXPECT_EQ(listener->connection_count(), 1u);
+}
+
+TEST_F(SocketTest, StaticBinaryConnectsFromAdminAddress) {
+  vnode::Process static_proc(*vnA, vnode::LinkMode::kStatic);
+  SocketApi static_api(mgr, static_proc);
+  StreamSocketPtr server;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) { server = s; });
+  StreamSocketPtr client;
+  static_api.connect(ip("10.0.0.51"), 6881,
+                     [&](StreamSocketPtr s) { client = s; });
+  sim.run();
+  ASSERT_TRUE(server != nullptr);
+  // Interception failed: the peer sees the physical node's identity.
+  EXPECT_EQ(server->remote_ip(), ip("192.168.38.1"));
+}
+
+TEST_F(SocketTest, MessagesDeliveredInOrder) {
+  std::vector<std::string> received;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_message([&received](Message&& m) {
+      received.push_back(m.as<std::string>());
+    });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    s->send(text_message("one"));
+    s->send(text_message("two"));
+    s->send(text_message("three"));
+  });
+  sim.run();
+  EXPECT_EQ(received,
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST_F(SocketTest, BidirectionalTraffic) {
+  std::vector<std::string> at_server;
+  std::vector<std::string> at_client;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_message([&, s](Message&& m) {
+      at_server.push_back(m.as<std::string>());
+      s->send(text_message("reply-" + m.as<std::string>()));
+    });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    s->on_message(
+        [&](Message&& m) { at_client.push_back(m.as<std::string>()); });
+    s->send(text_message("ping"));
+  });
+  sim.run();
+  EXPECT_EQ(at_server, (std::vector<std::string>{"ping"}));
+  EXPECT_EQ(at_client, (std::vector<std::string>{"reply-ping"}));
+}
+
+TEST_F(SocketTest, ByteCountersTrack) {
+  StreamSocketPtr client;
+  StreamSocketPtr server;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) { server = s; });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    client = s;
+    Message m;
+    m.type = 7;
+    m.size = DataSize::kib(16);
+    s->send(m);
+  });
+  sim.run();
+  ASSERT_TRUE(client && server);
+  EXPECT_EQ(client->bytes_sent(), DataSize::kib(16).count_bytes());
+  EXPECT_EQ(server->bytes_received(), DataSize::kib(16).count_bytes());
+}
+
+TEST_F(SocketTest, ThroughputLimitedByPipe) {
+  // Shape A's uplink at 128 kb/s; 10 x 16 KiB should take ~10.24 s.
+  const auto up = hostA->firewall().create_pipe(
+      {.bandwidth = Bandwidth::kbps(128), .delay = Duration::ms(30),
+       .queue_limit = DataSize::mib(2)});
+  hostA->firewall().add_rule({.number = 100, .src = cidr("10.0.0.1/32"),
+                              .dst = CidrBlock::any(),
+                              .action = ipfw::RuleAction::kPipe, .pipe = up});
+  int received = 0;
+  SimTime last;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_message([&](Message&&) {
+      ++received;
+      last = sim.now();
+    });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    for (int i = 0; i < 10; ++i) {
+      Message m;
+      m.type = 1;
+      m.size = DataSize::kib(16);
+      s->send(m);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(received, 10);
+  EXPECT_NEAR(last.to_seconds(), 10 * 1.024 + 0.06, 0.3);
+}
+
+TEST_F(SocketTest, SrttReflectsPathLatency) {
+  const auto up = hostA->firewall().create_pipe({.delay = Duration::ms(50)});
+  hostA->firewall().add_rule({.number = 100, .src = cidr("10.0.0.1/32"),
+                              .dst = CidrBlock::any(),
+                              .action = ipfw::RuleAction::kPipe, .pipe = up});
+  const auto down = hostA->firewall().create_pipe({.delay = Duration::ms(50)});
+  hostA->firewall().add_rule({.number = 110, .src = CidrBlock::any(),
+                              .dst = cidr("10.0.0.1/32"),
+                              .action = ipfw::RuleAction::kPipe,
+                              .pipe = down});
+  StreamSocketPtr client;
+  auto listener = apiB->listen(6881, [](StreamSocketPtr) {});
+  apiA->connect(ip("10.0.0.51"), 6881,
+                [&](StreamSocketPtr s) { client = s; });
+  sim.run();
+  ASSERT_TRUE(client);
+  EXPECT_NEAR(client->srtt().to_millis(), 100.0, 10.0);
+}
+
+TEST_F(SocketTest, CloseNotifiesRemote) {
+  bool closed = false;
+  StreamSocketPtr client;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_close([&] { closed = true; });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881,
+                [&](StreamSocketPtr s) { client = s; });
+  sim.run();
+  ASSERT_TRUE(client);
+  client->close();
+  sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(client->closed());
+  EXPECT_EQ(listener->connection_count(), 0u);
+}
+
+TEST_F(SocketTest, SendAfterCloseIsNoOp) {
+  StreamSocketPtr client;
+  auto listener = apiB->listen(6881, [](StreamSocketPtr) {});
+  apiA->connect(ip("10.0.0.51"), 6881,
+                [&](StreamSocketPtr s) { client = s; });
+  sim.run();
+  ASSERT_TRUE(client);
+  client->close();
+  client->send(text_message("late"));
+  sim.run();
+  EXPECT_EQ(client->bytes_sent(), 0u);
+}
+
+TEST_F(SocketTest, ConnectToNobodyFails) {
+  bool failed = false;
+  bool connected = false;
+  apiA->connect(ip("10.0.0.99"), 6881,
+                [&](StreamSocketPtr) { connected = true; },
+                [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(connected);
+}
+
+TEST_F(SocketTest, ConnectToClosedPortFails) {
+  bool failed = false;
+  apiA->connect(ip("10.0.0.51"), 7000, [](StreamSocketPtr) {},
+                [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(SocketTest, LossyPathStillDeliversEverything) {
+  // 5% random loss on the uplink: retransmission must recover, in order.
+  const auto up = hostA->firewall().create_pipe(
+      {.bandwidth = Bandwidth::mbps(10), .delay = Duration::ms(10),
+       .loss_rate = 0.05, .queue_limit = DataSize::mib(4)});
+  hostA->firewall().add_rule({.number = 100, .src = cidr("10.0.0.1/32"),
+                              .dst = CidrBlock::any(),
+                              .action = ipfw::RuleAction::kPipe, .pipe = up});
+  std::vector<int> received;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_message([&](Message&& m) {
+      received.push_back(static_cast<int>(m.as<int>()));
+    });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    for (int i = 0; i < 200; ++i) {
+      Message m;
+      m.type = 2;
+      m.size = DataSize::kib(4);
+      m.body = std::make_shared<const int>(i);
+      s->send(m);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(received.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST_F(SocketTest, ManyConnectionsShareListener) {
+  int accepted = 0;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr) { ++accepted; });
+  for (int i = 0; i < 10; ++i) {
+    apiA->connect(ip("10.0.0.51"), 6881, [](StreamSocketPtr) {});
+  }
+  sim.run();
+  EXPECT_EQ(accepted, 10);
+  EXPECT_EQ(listener->connection_count(), 10u);
+}
+
+TEST_F(SocketTest, StopAcceptingRefusesNew) {
+  int accepted = 0;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr) { ++accepted; });
+  listener->stop_accepting();
+  bool failed = false;
+  apiA->connect(ip("10.0.0.51"), 6881, [](StreamSocketPtr) {},
+                [&] { failed = true; });
+  sim.run();
+  EXPECT_EQ(accepted, 0);
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(SocketTest, WindowBackpressureQueuesSends) {
+  // Send far beyond the 256 KiB window at once; all must still arrive.
+  int received = 0;
+  auto listener = apiB->listen(6881, [&](StreamSocketPtr s) {
+    s->on_message([&](Message&&) { ++received; });
+  });
+  apiA->connect(ip("10.0.0.51"), 6881, [&](StreamSocketPtr s) {
+    for (int i = 0; i < 100; ++i) {
+      Message m;
+      m.type = 1;
+      m.size = DataSize::kib(16);  // 1.6 MiB total
+      s->send(m);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(received, 100);
+}
+
+TEST_F(SocketTest, EphemeralPortsAreDistinct) {
+  const std::uint16_t p1 = mgr.alloc_ephemeral_port(ip("10.0.0.1"));
+  const std::uint16_t p2 = mgr.alloc_ephemeral_port(ip("10.0.0.1"));
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152);
+}
+
+}  // namespace
+}  // namespace p2plab::sockets
