@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_classifier.dir/abl_classifier.cpp.o"
+  "CMakeFiles/abl_classifier.dir/abl_classifier.cpp.o.d"
+  "abl_classifier"
+  "abl_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

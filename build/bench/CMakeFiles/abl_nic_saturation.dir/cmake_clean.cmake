@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nic_saturation.dir/abl_nic_saturation.cpp.o"
+  "CMakeFiles/abl_nic_saturation.dir/abl_nic_saturation.cpp.o.d"
+  "abl_nic_saturation"
+  "abl_nic_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nic_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_nic_saturation.
+# This may be replaced when dependencies are built.

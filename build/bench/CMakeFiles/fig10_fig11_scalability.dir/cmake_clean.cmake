@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fig11_scalability.dir/fig10_fig11_scalability.cpp.o"
+  "CMakeFiles/fig10_fig11_scalability.dir/fig10_fig11_scalability.cpp.o.d"
+  "fig10_fig11_scalability"
+  "fig10_fig11_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fig11_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_concurrent_cpu.dir/fig1_concurrent_cpu.cpp.o"
+  "CMakeFiles/fig1_concurrent_cpu.dir/fig1_concurrent_cpu.cpp.o.d"
+  "fig1_concurrent_cpu"
+  "fig1_concurrent_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_concurrent_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_memory_pressure.dir/fig2_memory_pressure.cpp.o"
+  "CMakeFiles/fig2_memory_pressure.dir/fig2_memory_pressure.cpp.o.d"
+  "fig2_memory_pressure"
+  "fig2_memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

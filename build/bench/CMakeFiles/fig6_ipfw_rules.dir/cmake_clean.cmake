@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ipfw_rules.dir/fig6_ipfw_rules.cpp.o"
+  "CMakeFiles/fig6_ipfw_rules.dir/fig6_ipfw_rules.cpp.o.d"
+  "fig6_ipfw_rules"
+  "fig6_ipfw_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ipfw_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bittorrent_160.dir/fig8_bittorrent_160.cpp.o"
+  "CMakeFiles/fig8_bittorrent_160.dir/fig8_bittorrent_160.cpp.o.d"
+  "fig8_bittorrent_160"
+  "fig8_bittorrent_160.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bittorrent_160.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_folding_ratio.cpp" "bench/CMakeFiles/fig9_folding_ratio.dir/fig9_folding_ratio.cpp.o" "gcc" "bench/CMakeFiles/fig9_folding_ratio.dir/fig9_folding_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2plab_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2plab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/p2plab_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2plab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipfw/CMakeFiles/p2plab_ipfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/p2plab_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2plab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_folding_ratio.dir/fig9_folding_ratio.cpp.o"
+  "CMakeFiles/fig9_folding_ratio.dir/fig9_folding_ratio.cpp.o.d"
+  "fig9_folding_ratio"
+  "fig9_folding_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_folding_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_intercept_overhead.dir/tbl_intercept_overhead.cpp.o"
+  "CMakeFiles/tbl_intercept_overhead.dir/tbl_intercept_overhead.cpp.o.d"
+  "tbl_intercept_overhead"
+  "tbl_intercept_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_intercept_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bittorrent_swarm.dir/bittorrent_swarm.cpp.o"
+  "CMakeFiles/bittorrent_swarm.dir/bittorrent_swarm.cpp.o.d"
+  "bittorrent_swarm"
+  "bittorrent_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bittorrent_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

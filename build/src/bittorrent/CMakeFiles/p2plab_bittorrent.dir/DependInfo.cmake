@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bittorrent/bencode.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/bencode.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/bencode.cpp.o.d"
+  "/root/repo/src/bittorrent/choker.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/choker.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/choker.cpp.o.d"
+  "/root/repo/src/bittorrent/client.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/client.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/client.cpp.o.d"
+  "/root/repo/src/bittorrent/metainfo.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/metainfo.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/metainfo.cpp.o.d"
+  "/root/repo/src/bittorrent/picker.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/picker.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/picker.cpp.o.d"
+  "/root/repo/src/bittorrent/piece_store.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/piece_store.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/piece_store.cpp.o.d"
+  "/root/repo/src/bittorrent/sha1.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/sha1.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/sha1.cpp.o.d"
+  "/root/repo/src/bittorrent/swarm.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/swarm.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/swarm.cpp.o.d"
+  "/root/repo/src/bittorrent/tracker.cpp" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/tracker.cpp.o" "gcc" "src/bittorrent/CMakeFiles/p2plab_bittorrent.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2plab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2plab_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/p2plab_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2plab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2plab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipfw/CMakeFiles/p2plab_ipfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/p2plab_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

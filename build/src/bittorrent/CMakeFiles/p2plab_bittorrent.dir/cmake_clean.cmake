@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_bittorrent.dir/bencode.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/bencode.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/choker.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/choker.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/client.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/client.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/metainfo.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/metainfo.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/picker.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/picker.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/piece_store.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/piece_store.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/sha1.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/sha1.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/swarm.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/swarm.cpp.o.d"
+  "CMakeFiles/p2plab_bittorrent.dir/tracker.cpp.o"
+  "CMakeFiles/p2plab_bittorrent.dir/tracker.cpp.o.d"
+  "libp2plab_bittorrent.a"
+  "libp2plab_bittorrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_bittorrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

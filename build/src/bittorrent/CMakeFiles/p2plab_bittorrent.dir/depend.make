@@ -1,0 +1,2 @@
+# Empty dependencies file for p2plab_bittorrent.
+# This may be replaced when dependencies are built.

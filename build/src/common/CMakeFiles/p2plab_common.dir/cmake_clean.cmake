@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_common.dir/ipv4.cpp.o"
+  "CMakeFiles/p2plab_common.dir/ipv4.cpp.o.d"
+  "CMakeFiles/p2plab_common.dir/time.cpp.o"
+  "CMakeFiles/p2plab_common.dir/time.cpp.o.d"
+  "CMakeFiles/p2plab_common.dir/units.cpp.o"
+  "CMakeFiles/p2plab_common.dir/units.cpp.o.d"
+  "libp2plab_common.a"
+  "libp2plab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_core.dir/platform.cpp.o"
+  "CMakeFiles/p2plab_core.dir/platform.cpp.o.d"
+  "libp2plab_core.a"
+  "libp2plab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

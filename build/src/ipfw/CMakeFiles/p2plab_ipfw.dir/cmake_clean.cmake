@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_ipfw.dir/firewall.cpp.o"
+  "CMakeFiles/p2plab_ipfw.dir/firewall.cpp.o.d"
+  "CMakeFiles/p2plab_ipfw.dir/pipe.cpp.o"
+  "CMakeFiles/p2plab_ipfw.dir/pipe.cpp.o.d"
+  "CMakeFiles/p2plab_ipfw.dir/rule.cpp.o"
+  "CMakeFiles/p2plab_ipfw.dir/rule.cpp.o.d"
+  "libp2plab_ipfw.a"
+  "libp2plab_ipfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_ipfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

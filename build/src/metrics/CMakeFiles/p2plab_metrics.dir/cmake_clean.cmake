@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/p2plab_metrics.dir/timeseries.cpp.o.d"
+  "CMakeFiles/p2plab_metrics.dir/trace.cpp.o"
+  "CMakeFiles/p2plab_metrics.dir/trace.cpp.o.d"
+  "libp2plab_metrics.a"
+  "libp2plab_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_net.dir/host.cpp.o"
+  "CMakeFiles/p2plab_net.dir/host.cpp.o.d"
+  "CMakeFiles/p2plab_net.dir/network.cpp.o"
+  "CMakeFiles/p2plab_net.dir/network.cpp.o.d"
+  "libp2plab_net.a"
+  "libp2plab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/p2plab_sched.dir/scheduler.cpp.o.d"
+  "libp2plab_sched.a"
+  "libp2plab_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

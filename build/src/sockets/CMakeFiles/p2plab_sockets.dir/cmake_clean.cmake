@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_sockets.dir/socket.cpp.o"
+  "CMakeFiles/p2plab_sockets.dir/socket.cpp.o.d"
+  "libp2plab_sockets.a"
+  "libp2plab_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_topology.dir/parser.cpp.o"
+  "CMakeFiles/p2plab_topology.dir/parser.cpp.o.d"
+  "CMakeFiles/p2plab_topology.dir/topology.cpp.o"
+  "CMakeFiles/p2plab_topology.dir/topology.cpp.o.d"
+  "libp2plab_topology.a"
+  "libp2plab_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2plab_workload.dir/tasks.cpp.o"
+  "CMakeFiles/p2plab_workload.dir/tasks.cpp.o.d"
+  "libp2plab_workload.a"
+  "libp2plab_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2plab_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bittorrent.dir/bittorrent/bencode_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/bencode_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/bitfield_rate_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/bitfield_rate_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/choker_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/choker_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/client_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/client_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/metainfo_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/metainfo_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/picker_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/picker_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/piece_store_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/piece_store_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/sha1_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/sha1_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/swarm_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/swarm_test.cpp.o.d"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/tracker_test.cpp.o"
+  "CMakeFiles/test_bittorrent.dir/bittorrent/tracker_test.cpp.o.d"
+  "test_bittorrent"
+  "test_bittorrent.pdb"
+  "test_bittorrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bittorrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipfw.dir/ipfw/firewall_test.cpp.o"
+  "CMakeFiles/test_ipfw.dir/ipfw/firewall_test.cpp.o.d"
+  "CMakeFiles/test_ipfw.dir/ipfw/pipe_test.cpp.o"
+  "CMakeFiles/test_ipfw.dir/ipfw/pipe_test.cpp.o.d"
+  "CMakeFiles/test_ipfw.dir/ipfw/rule_test.cpp.o"
+  "CMakeFiles/test_ipfw.dir/ipfw/rule_test.cpp.o.d"
+  "test_ipfw"
+  "test_ipfw.pdb"
+  "test_ipfw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sockets.dir/sockets/backpressure_test.cpp.o"
+  "CMakeFiles/test_sockets.dir/sockets/backpressure_test.cpp.o.d"
+  "CMakeFiles/test_sockets.dir/sockets/datagram_test.cpp.o"
+  "CMakeFiles/test_sockets.dir/sockets/datagram_test.cpp.o.d"
+  "CMakeFiles/test_sockets.dir/sockets/socket_test.cpp.o"
+  "CMakeFiles/test_sockets.dir/sockets/socket_test.cpp.o.d"
+  "test_sockets"
+  "test_sockets.pdb"
+  "test_sockets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_parser.dir/topology/parser_test.cpp.o"
+  "CMakeFiles/test_topology_parser.dir/topology/parser_test.cpp.o.d"
+  "test_topology_parser"
+  "test_topology_parser.pdb"
+  "test_topology_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnode.dir/vnode/vnode_test.cpp.o"
+  "CMakeFiles/test_vnode.dir/vnode/vnode_test.cpp.o.d"
+  "test_vnode"
+  "test_vnode.pdb"
+  "test_vnode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
