@@ -38,6 +38,7 @@ int main() {
   bench::banner("Ablation", "linear vs hash rule classifier (Figure 6 sweep)");
   metrics::CsvWriter csv("abl_classifier",
                          {"rules", "rtt_linear_ms", "rtt_hash_ms"});
+  csv.comment("seed=" + std::to_string(core::PlatformConfig{}.seed));
   for (std::uint32_t rules = 0; rules <= 50000; rules += 10000) {
     csv.row({std::to_string(rules), std::to_string(rtt_with(false, rules)),
              std::to_string(rtt_with(true, rules))});

@@ -68,6 +68,7 @@ int main() {
   metrics::CsvWriter csv("abl_nic_saturation",
                          {"deployment", "median_completion_s",
                           "last_completion_s", "nic_drops"});
+  csv.comment("seed=" + std::to_string(bt::SwarmConfig{}.content_seed));
 
   // Unfolded on constrained NICs: one vnode per machine never stresses a
   // 25 Mb/s NIC — the emulation is transparent.

@@ -17,6 +17,8 @@
 
 #include "bench_env.hpp"
 #include "bittorrent/swarm.hpp"
+#include "metrics/health.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/trace.hpp"
 
 using namespace p2plab;
@@ -32,10 +34,21 @@ int main() {
                                      " clients at 32 vnodes per pnode");
   const std::size_t vnodes = bt::swarm_vnodes(config);
   const std::size_t pnodes = (vnodes + 31) / 32;  // the paper's 32:1
+  // Declared before the platform: teardown (client timers cancelling
+  // events) still increments bound kernel counters.
+  metrics::Registry registry;
   core::Platform platform(topology::homogeneous_dsl(vnodes),
                           core::PlatformConfig{.physical_nodes = pnodes});
   bt::Swarm swarm(platform, config);
+  swarm.bind_metrics(registry);
+  // The long run this harness exists for is exactly where the health
+  // heartbeat matters: progress is visible every ~10 wall seconds.
+  metrics::HealthMonitor monitor(
+      metrics::HealthMonitor::Options{.csv_name = "fig10_metrics"});
+  monitor.start(platform.sim(), registry);
   swarm.run();
+  monitor.stop();
+  monitor.print_report();
   std::printf("# %zu/%zu clients complete at t=%.0f s; %llu events; "
               "%zu pnodes x %zu vnodes\n",
               swarm.completed_count(), swarm.client_count(),
@@ -48,6 +61,7 @@ int main() {
   // a 10 s grid, in long format (client, time, pct).
   metrics::CsvWriter fig10("fig10_sampled_progress",
                            {"client", "time_s", "pct_done"});
+  fig10.comment("seed=" + std::to_string(config.content_seed));
   const SimTime end = platform.sim().now() + Duration::sec(10);
   for (std::size_t c = 50; c <= swarm.client_count(); c += 50) {
     const auto& series = swarm.client(c - 1).progress();

@@ -17,6 +17,7 @@ int main() {
                 "avg per-process execution time vs #concurrent processes");
   metrics::CsvWriter csv("fig1_concurrent_cpu",
                          {"n_processes", "scheduler", "avg_time_s"});
+  csv.comment("seed=1");
 
   const sched::SchedulerKind kinds[] = {sched::SchedulerKind::kUle,
                                         sched::SchedulerKind::kBsd4,

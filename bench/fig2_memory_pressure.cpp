@@ -17,6 +17,7 @@ int main() {
   metrics::CsvWriter csv("fig2_memory_pressure",
                          {"n_processes", "scheduler", "avg_time_s",
                           "working_set_total_mib"});
+  csv.comment("seed=1");
 
   const sched::SchedulerKind kinds[] = {sched::SchedulerKind::kUle,
                                         sched::SchedulerKind::kBsd4,

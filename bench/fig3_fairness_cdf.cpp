@@ -17,6 +17,7 @@ int main() {
   bench::banner("Figure 3", "CDF of completion times, 100 processes");
   metrics::CsvWriter csv("fig3_fairness_cdf",
                          {"scheduler", "execution_time_s", "cdf"});
+  csv.comment("seed=7");
 
   const sched::SchedulerKind kinds[] = {
       sched::SchedulerKind::kUle, sched::SchedulerKind::kBsd4,

@@ -21,9 +21,10 @@ int main() {
   bench::banner("Figure 7", "emulated topology latency decomposition");
   metrics::CsvWriter csv("fig7_topology_latency",
                          {"src", "dst", "rtt_ms", "paper_expected_ms"});
+  core::PlatformConfig pconfig{.physical_nodes = 11};
+  csv.comment("seed=" + std::to_string(pconfig.seed));
 
-  core::Platform platform(topology::figure7(),
-                          core::PlatformConfig{.physical_nodes = 11});
+  core::Platform platform(topology::figure7(), pconfig);
 
   const struct {
     const char* src;

@@ -13,6 +13,8 @@
 // plus each client's completion time.
 #include "bench_env.hpp"
 #include "bittorrent/swarm.hpp"
+#include "metrics/health.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/trace.hpp"
 
@@ -23,16 +25,26 @@ int main() {
   bt::SwarmConfig config;  // defaults are the paper's parameters
   config.clients = bench::env_size("P2PLAB_FIG8_CLIENTS", 160);
 
+  // Declared before the platform: teardown (client timers cancelling
+  // events) still increments bound kernel counters.
+  metrics::Registry registry;
   core::Platform platform(
       topology::homogeneous_dsl(bt::swarm_vnodes(config)),
       core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config)});
   bt::Swarm swarm(platform, config);
+  swarm.bind_metrics(registry);
+  metrics::HealthMonitor monitor(
+      metrics::HealthMonitor::Options{.csv_name = "fig8_metrics"});
+  monitor.start(platform.sim(), registry);
   swarm.run();
+  monitor.stop();
+  monitor.print_report();
 
   metrics::CsvWriter envelope(
       "fig8_progress_envelope",
       {"time_s", "pct_min", "pct_p25", "pct_median", "pct_p75", "pct_max",
        "clients_complete"});
+  envelope.comment("seed=" + std::to_string(config.content_seed));
   const SimTime end = platform.sim().now() + Duration::sec(10);
   for (SimTime t = SimTime::zero(); t <= end; t += Duration::sec(10)) {
     metrics::Distribution pct;

@@ -8,10 +8,14 @@
 // 10 s grid, plus the maximum relative divergence from the unfolded run.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_env.hpp"
 #include "bittorrent/swarm.hpp"
+#include "metrics/health.hpp"
+#include "metrics/recorder.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/trace.hpp"
 
 using namespace p2plab;
@@ -29,12 +33,29 @@ int main() {
   std::vector<std::vector<double>> curves;
   SimTime longest_end = SimTime::zero();
 
+  // Observability: low-rate trace events land in trace.jsonl; one health
+  // timeline spans all folds (rows tagged by the label column).
+  metrics::FlightRecorder recorder;
+  metrics::FlightRecorder::set_active(&recorder);
+  metrics::HealthMonitor monitor(metrics::HealthMonitor::Options{
+      .period = Duration::sec(60),
+      .csv_name = "metrics",
+      .tracked = {"sim.events.dispatched", "ipfw.rules_scanned",
+                  "net.nic.tx_bytes", "net.nic.rx_bytes"}});
+
   for (const std::size_t fold : foldings) {
     const std::size_t pnodes = (config.clients / fold) + 1;
+    // The registry must outlive the platform: teardown (client timers
+    // cancelling events) still increments bound kernel counters.
+    metrics::Registry registry;
     core::Platform platform(topology::homogeneous_dsl(vnodes),
                             core::PlatformConfig{.physical_nodes = pnodes});
     bt::Swarm swarm(platform, config);
+    swarm.bind_metrics(registry);
+    monitor.set_label("fold=" + std::to_string(fold));
+    monitor.start(platform.sim(), registry);
     swarm.run();
+    monitor.stop();  // final sample; must precede platform destruction
     const SimTime end = platform.sim().now() + step;
     longest_end = std::max(longest_end, end);
     curves.push_back(swarm.total_bytes_curve(step, longest_end));
@@ -50,11 +71,17 @@ int main() {
                 fold, pnodes, platform.sim().now().to_seconds(),
                 swarm.completed_count(), swarm.client_count(),
                 100.0 * max_cpu);
+    // End-of-run health report: sim-kernel throughput, ipfw scan totals and
+    // the per-link byte counters, per fold.
+    monitor.print_report();
   }
+  recorder.flush_to_results();
+  metrics::FlightRecorder::set_active(nullptr);
 
   metrics::CsvWriter csv("fig9_folding_ratio",
                          {"time_s", "bytes_fold1", "bytes_fold10",
                           "bytes_fold20", "bytes_fold40", "bytes_fold80"});
+  csv.comment("seed=" + std::to_string(config.content_seed));
   const std::size_t n_points = static_cast<std::size_t>(
       longest_end.count_ns() / step.count_ns()) + 1;
   for (std::size_t i = 0; i < n_points; ++i) {

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/platform.hpp"
 #include "ipfw/firewall.hpp"
+#include "metrics/registry.hpp"
 #include "sim/simulation.hpp"
 
 using namespace p2plab;
@@ -35,6 +36,27 @@ void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueScheduleDispatchInstrumented(benchmark::State& state) {
+  // Same loop with kernel metrics bound: the delta against the plain
+  // variant is the registry's per-event overhead (budget: <= 2%).
+  sim::Simulation sim;
+  metrics::Registry registry;
+  sim.bind_metrics(registry);
+  const auto horizon = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  for (std::int64_t i = 0; i < horizon; ++i) {
+    sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+  }
+  for (auto _ : state) {
+    sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleDispatchInstrumented)->Arg(1000)->Arg(100000);
 
 void BM_LinearClassifierScan(benchmark::State& state) {
   sim::Simulation sim;

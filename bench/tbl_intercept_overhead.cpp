@@ -19,6 +19,7 @@ int main() {
                 "libc interception overhead on connect/disconnect");
   metrics::CsvWriter csv("tbl_intercept_overhead",
                          {"case", "connect_cycle_us"});
+  csv.comment("seed=" + std::to_string(core::PlatformConfig{}.seed));
 
   const vnode::SyscallCosts costs;
   csv.row({"unmodified_libc",

@@ -4,12 +4,29 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "metrics/recorder.hpp"
 
 namespace p2plab::bt {
 
 namespace {
 constexpr std::uint32_t key_of(Ipv4Addr ip) { return ip.to_u32(); }
 }  // namespace
+
+void Client::bind_metrics(metrics::Registry& reg) {
+  metrics_.announces = reg.counter("bt.announces");
+  metrics_.piece_completions = reg.counter("bt.piece_completions");
+  metrics_.torrent_completions = reg.counter("bt.torrent_completions");
+  metrics_.chokes_sent = reg.counter("bt.chokes_sent");
+  metrics_.unchokes_sent = reg.counter("bt.unchokes_sent");
+  // Rate buckets span dial-up to past the 128 KiB/s access links of the
+  // paper's reference scenario (bytes per second).
+  const std::vector<double> rate_bounds{0,     4096,   16384,  65536,
+                                        131072, 262144, 1048576};
+  metrics_.peer_down_rate_bps = reg.histogram("bt.peer_down_rate_bps",
+                                              rate_bounds);
+  metrics_.peer_up_rate_bps = reg.histogram("bt.peer_up_rate_bps",
+                                            rate_bounds);
+}
 
 Client::Client(sim::Simulation& sim, sockets::SocketApi& api,
                const MetaInfo& meta, PeerInfo tracker, ClientConfig config,
@@ -94,6 +111,7 @@ std::vector<Client::PeerDebug> Client::debug_peers() {
 
 void Client::announce(AnnounceEvent event) {
   ++stats_.announces;
+  metrics_.announces.inc();
   api_->connect(
       tracker_.ip, tracker_.port,
       [this, event](sockets::StreamSocketPtr sock) {
@@ -393,6 +411,7 @@ void Client::on_piece_msg(Peer& peer, const WireMsg& msg) {
       break;
     case PieceStore::BlockResult::kPieceComplete: {
       cancel_duplicates(ref, key_of(peer.ip));
+      metrics_.piece_completions.inc();
       progress_.add(sim_->now(), 100.0 * store_.fraction_complete());
       down_series_.add(
           sim_->now(),
@@ -510,6 +529,11 @@ void Client::cancel_duplicates(BlockRef ref, std::uint32_t except_key) {
 void Client::on_torrent_complete() {
   if (!was_seed_at_start_ && !completed_at_) {
     completed_at_ = sim_->now();
+    metrics_.torrent_completions.inc();
+    P2PLAB_TRACE(sim_->now(), "bt", "torrent_complete",
+                 {{"ip", ip().to_string()},
+                  {"bytes_down", stats_.bytes_down},
+                  {"bytes_up", stats_.bytes_up}});
     announce(AnnounceEvent::kCompleted);
     P2PLAB_LOG_INFO("client %s completed at %s", ip().to_string().c_str(),
                     sim_->now().to_string().c_str());
@@ -547,6 +571,8 @@ void Client::rechoke() {
     if (!peer->handshake_rx) continue;
     const bool snubbed = is_snubbed(*peer);
     if (snubbed) release_stalled_requests(*peer);
+    metrics_.peer_down_rate_bps.record(peer->down_rate.rate_bps(sim_->now()));
+    metrics_.peer_up_rate_bps.record(peer->up_rate.rate_bps(sim_->now()));
     snapshot.push_back(PeerSnapshot{
         .key = key,
         .interested = peer->peer_interested,
@@ -563,11 +589,13 @@ void Client::rechoke() {
         std::find(unchoked.begin(), unchoked.end(), key) != unchoked.end();
     if (should_unchoke && peer->am_choking) {
       ++stats_.choke_transitions;
+      metrics_.unchokes_sent.inc();
       peer->am_choking = false;
       WireMsg msg;
       msg.type = MsgType::kUnchoke;
       send_msg(*peer, std::move(msg));
     } else if (!should_unchoke && !peer->am_choking) {
+      metrics_.chokes_sent.inc();
       peer->am_choking = true;
       peer->upload_queue.clear();  // unserved requests die with the choke
       WireMsg msg;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/timeseries.hpp"
 #include "bittorrent/choker.hpp"
 #include "bittorrent/metainfo.hpp"
@@ -76,6 +77,18 @@ struct ClientStats {
   std::uint64_t accepts_rejected = 0;    // listener at max_connections
 };
 
+/// Shared "bt.*" registry handles; the same cells aggregate every client
+/// in a swarm (Swarm::bind_metrics binds seeders and leechers alike).
+struct BtMetrics {
+  metrics::Counter announces;
+  metrics::Counter piece_completions;
+  metrics::Counter torrent_completions;
+  metrics::Counter chokes_sent;
+  metrics::Counter unchokes_sent;
+  metrics::Histogram peer_down_rate_bps;  // sampled at each rechoke
+  metrics::Histogram peer_up_rate_bps;
+};
+
 class Client {
  public:
   Client(sim::Simulation& sim, sockets::SocketApi& api, const MetaInfo& meta,
@@ -103,6 +116,9 @@ class Client {
   const metrics::TimeSeries& progress() const { return progress_; }
   /// Timestamped cumulative payload bytes received (Figure 9's series).
   const metrics::TimeSeries& bytes_down_series() const { return down_series_; }
+
+  /// Resolve "bt.*" handles from `reg`; every bound client shares cells.
+  void bind_metrics(metrics::Registry& reg);
 
   /// Peer-state snapshot for diagnostics and tests.
   struct PeerDebug {
@@ -193,6 +209,7 @@ class Client {
   sim::EventId refill_event_;
 
   ClientStats stats_;
+  BtMetrics metrics_;
   metrics::TimeSeries progress_;
   metrics::TimeSeries down_series_;
 };

@@ -50,6 +50,12 @@ Swarm::Swarm(core::Platform& platform, SwarmConfig config)
   }
 }
 
+void Swarm::bind_metrics(metrics::Registry& reg) {
+  platform_->bind_metrics(reg);
+  for (auto& seeder : seeders_) seeder->bind_metrics(reg);
+  for (auto& client : clients_) client->bind_metrics(reg);
+}
+
 void Swarm::run() {
   // Advance in coarse chunks: checking completion per event would cost an
   // O(clients) scan on every one of the ~10^8 events of a full-scale run.

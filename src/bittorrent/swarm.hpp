@@ -59,6 +59,9 @@ class Swarm {
   std::size_t completed_count() const;
   bool all_complete() const { return completed_count() == clients_.size(); }
 
+  /// Bind platform + every client (seeders included) to `reg`.
+  void bind_metrics(metrics::Registry& reg);
+
   /// Completion times of the clients that finished, in client order.
   std::vector<double> completion_times_sec() const;
   /// The Figure 11 series: (t, #clients complete) steps.

@@ -10,10 +10,21 @@
 
 namespace p2plab::detail {
 
+/// Invoked once before abort() on assertion failure; the flight recorder
+/// (metrics/recorder.hpp) installs its post-mortem dump here. Kept as a
+/// bare function pointer so common/ stays dependency-free.
+inline void (*g_assert_hook)() = nullptr;
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "p2plab: assertion failed: %s at %s:%d%s%s\n", expr,
                file, line, msg ? " — " : "", msg ? msg : "");
+  if (g_assert_hook != nullptr) {
+    // Disarm first: a failure inside the hook must not recurse.
+    auto* hook = g_assert_hook;
+    g_assert_hook = nullptr;
+    hook();
+  }
   std::abort();
 }
 

@@ -43,9 +43,22 @@ inline void log(LogLevel level, const char* fmt, ...) {
   va_end(args);
 }
 
-#define P2PLAB_LOG_DEBUG(...) ::p2plab::log(::p2plab::LogLevel::kDebug, __VA_ARGS__)
-#define P2PLAB_LOG_INFO(...) ::p2plab::log(::p2plab::LogLevel::kInfo, __VA_ARGS__)
-#define P2PLAB_LOG_WARN(...) ::p2plab::log(::p2plab::LogLevel::kWarn, __VA_ARGS__)
-#define P2PLAB_LOG_ERROR(...) ::p2plab::log(::p2plab::LogLevel::kError, __VA_ARGS__)
+/// True when `level` would be emitted (guard for expensive log prep).
+#define P2PLAB_LOG_ENABLED(level) ((level) >= ::p2plab::log_level())
+
+// The level check lives in the macro so a disabled call site costs one
+// branch: the arguments (often to_string() allocations) are never
+// evaluated and no va_list is set up. log() re-checks for direct callers.
+#define P2PLAB_LOG_AT(level, ...)                            \
+  do {                                                       \
+    if (P2PLAB_LOG_ENABLED(level)) {                         \
+      ::p2plab::log((level), __VA_ARGS__);                   \
+    }                                                        \
+  } while (0)
+
+#define P2PLAB_LOG_DEBUG(...) P2PLAB_LOG_AT(::p2plab::LogLevel::kDebug, __VA_ARGS__)
+#define P2PLAB_LOG_INFO(...) P2PLAB_LOG_AT(::p2plab::LogLevel::kInfo, __VA_ARGS__)
+#define P2PLAB_LOG_WARN(...) P2PLAB_LOG_AT(::p2plab::LogLevel::kWarn, __VA_ARGS__)
+#define P2PLAB_LOG_ERROR(...) P2PLAB_LOG_AT(::p2plab::LogLevel::kError, __VA_ARGS__)
 
 }  // namespace p2plab

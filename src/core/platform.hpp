@@ -78,6 +78,14 @@ class Platform {
   /// Total IPFW rules installed across all physical nodes (diagnostics).
   std::size_t total_rules() const;
 
+  /// Bind the whole platform's instrumentation (sim kernel, network +
+  /// per-host firewalls, socket manager) to `reg`.
+  void bind_metrics(metrics::Registry& reg) {
+    sim_.bind_metrics(reg);
+    network_->bind_metrics(reg);
+    sockets_->bind_metrics(reg);
+  }
+
  private:
   void build_cluster();
   void deploy_vnodes();

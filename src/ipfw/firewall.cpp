@@ -19,6 +19,7 @@ Firewall::Firewall(sim::Simulation& sim, FirewallConfig config, Rng rng)
 PipeId Firewall::create_pipe(const PipeConfig& config) {
   pipes_.push_back(std::make_unique<Pipe>(
       sim_, config, rng_.fork(pipes_.size() + 1)));
+  pipes_.back()->bind_metrics(pipe_metrics_);
   return static_cast<PipeId>(pipes_.size());  // ids start at 1
 }
 
@@ -65,7 +66,25 @@ void Firewall::add_filler_rules(std::uint32_t first_number,
 
 MatchResult Firewall::classify(Ipv4Addr src, Ipv4Addr dst,
                                RuleDir pass) const {
-  return classifier_->classify(src, dst, pass);
+  MatchResult result = classifier_->classify(src, dst, pass);
+  metrics_.packets_classified.inc();
+  metrics_.rules_scanned.inc(result.rules_scanned);
+  metrics_.scan_len.record(static_cast<double>(result.rules_scanned));
+  metrics_.scan_cpu_ns.inc(
+      static_cast<std::uint64_t>(scan_cost(result).count_ns()));
+  if (result.denied) metrics_.denied.inc();
+  return result;
+}
+
+void Firewall::bind_metrics(metrics::Registry& reg) {
+  metrics_.packets_classified = reg.counter("ipfw.packets_classified");
+  metrics_.rules_scanned = reg.counter("ipfw.rules_scanned");
+  metrics_.denied = reg.counter("ipfw.denied");
+  metrics_.scan_cpu_ns = reg.counter("ipfw.scan_cpu_ns");
+  metrics_.scan_len = reg.histogram(
+      "ipfw.scan_len", {1, 4, 16, 64, 256, 1024, 4096});
+  pipe_metrics_ = PipeMetrics::resolve(reg);
+  for (auto& pipe : pipes_) pipe->bind_metrics(pipe_metrics_);
 }
 
 void Firewall::rebuild_classifier() { classifier_->rebuild(rules_); }

@@ -25,6 +25,16 @@ struct FirewallConfig {
   bool use_hash_classifier = false;  // ablation switch
 };
 
+/// Shared "ipfw.*" registry handles; one set aggregates every per-host
+/// firewall (same names resolve to the same cells).
+struct FirewallMetrics {
+  metrics::Counter packets_classified;
+  metrics::Counter rules_scanned;  // sum over packets; Figure 6's x-axis
+  metrics::Counter denied;
+  metrics::Counter scan_cpu_ns;  // CPU charged for rule scans, in sim ns
+  metrics::Histogram scan_len;   // rules scanned per packet
+};
+
 class Firewall {
  public:
   Firewall(sim::Simulation& sim, FirewallConfig config, Rng rng);
@@ -56,6 +66,10 @@ class Firewall {
   const FirewallConfig& config() const { return config_; }
   const char* classifier_name() const { return classifier_->name(); }
 
+  /// Resolve "ipfw.*" handles from `reg` for this firewall and all of its
+  /// pipes (present and future).
+  void bind_metrics(metrics::Registry& reg);
+
  private:
   void rebuild_classifier();
 
@@ -65,6 +79,8 @@ class Firewall {
   std::vector<Rule> rules_;
   std::vector<std::unique_ptr<Pipe>> pipes_;  // index = PipeId - 1
   std::unique_ptr<Classifier> classifier_;
+  FirewallMetrics metrics_;
+  PipeMetrics pipe_metrics_;  // copied into each pipe
 };
 
 }  // namespace p2plab::ipfw

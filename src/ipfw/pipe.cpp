@@ -7,6 +7,22 @@
 
 namespace p2plab::ipfw {
 
+PipeMetrics PipeMetrics::resolve(metrics::Registry& reg) {
+  PipeMetrics m;
+  m.segments_in = reg.counter("ipfw.pipe.segments_in");
+  m.segments_out = reg.counter("ipfw.pipe.segments_out");
+  m.bytes_in = reg.counter("ipfw.pipe.bytes_in");
+  m.bytes_out = reg.counter("ipfw.pipe.bytes_out");
+  m.drops_loss = reg.counter("ipfw.pipe.drops_loss");
+  m.drops_overflow = reg.counter("ipfw.pipe.drops_overflow");
+  // Buckets up to the default 50-frame queue bound and beyond (custom
+  // limits may exceed it).
+  m.queue_bytes = reg.histogram(
+      "ipfw.pipe.queue_bytes",
+      {0, 1500, 4500, 15000, 37500, 75000, 150000, 600000});
+  return m;
+}
+
 Pipe::Pipe(sim::Simulation& sim, PipeConfig config, Rng rng)
     : sim_(sim), config_(config), rng_(rng) {
   P2PLAB_ASSERT(config_.loss_rate >= 0.0 && config_.loss_rate <= 1.0);
@@ -15,9 +31,13 @@ Pipe::Pipe(sim::Simulation& sim, PipeConfig config, Rng rng)
 void Pipe::enqueue(Segment seg) {
   ++stats_.segments_in;
   stats_.bytes_in += seg.size.count_bytes();
+  metrics_.segments_in.inc();
+  metrics_.bytes_in.inc(seg.size.count_bytes());
+  metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
 
   if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
     ++stats_.segments_dropped;
+    metrics_.drops_loss.inc();
     if (seg.on_drop) seg.on_drop();
     return;
   }
@@ -26,6 +46,8 @@ void Pipe::enqueue(Segment seg) {
   if (config_.bandwidth.is_unlimited()) {
     ++stats_.segments_out;
     stats_.bytes_out += seg.size.count_bytes();
+    metrics_.segments_out.inc();
+    metrics_.bytes_out.inc(seg.size.count_bytes());
     auto cb = std::move(seg.on_exit);
     if (config_.delay == Duration::zero()) {
       cb();
@@ -40,6 +62,7 @@ void Pipe::enqueue(Segment seg) {
       busy_) {
     // Queue full (the in-service segment does not count against the queue).
     ++stats_.segments_dropped;
+    metrics_.drops_overflow.inc();
     if (seg.on_drop) seg.on_drop();
     return;
   }
@@ -122,6 +145,8 @@ void Pipe::start_service(Segment seg) {
 void Pipe::depart(Segment seg) {
   ++stats_.segments_out;
   stats_.bytes_out += seg.size.count_bytes();
+  metrics_.segments_out.inc();
+  metrics_.bytes_out.inc(seg.size.count_bytes());
   auto cb = std::move(seg.on_exit);
   if (config_.delay == Duration::zero()) {
     cb();

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
+#include "metrics/registry.hpp"
 #include "sim/simulation.hpp"
 
 namespace p2plab::ipfw {
@@ -45,6 +46,23 @@ struct PipeStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t max_queue_bytes = 0;
+};
+
+/// Registry handles shared by every pipe in a firewall: the same metric
+/// names resolve to the same cells, so thousands of access-link pipes
+/// aggregate into one set of emulator-wide pipe counters. Copyable by
+/// design — Firewall resolves once and hands a copy to each pipe.
+struct PipeMetrics {
+  metrics::Counter segments_in;
+  metrics::Counter segments_out;
+  metrics::Counter bytes_in;
+  metrics::Counter bytes_out;
+  metrics::Counter drops_loss;      // random loss (plr)
+  metrics::Counter drops_overflow;  // bounded-queue overflow
+  metrics::Histogram queue_bytes;   // occupancy sampled at enqueue
+
+  /// Resolve the shared "ipfw.pipe.*" cells from `reg`.
+  static PipeMetrics resolve(metrics::Registry& reg);
 };
 
 class Pipe {
@@ -73,6 +91,9 @@ class Pipe {
   /// Queued segments keep draining at the new rate from the next service.
   void reconfigure(const PipeConfig& config) { config_ = config; }
 
+  /// Point this pipe's instrumentation at resolved registry cells.
+  void bind_metrics(const PipeMetrics& metrics) { metrics_ = metrics; }
+
  private:
   struct FlowQueue {
     std::deque<Segment> segments;
@@ -89,6 +110,7 @@ class Pipe {
   PipeConfig config_;
   Rng rng_;
   PipeStats stats_;
+  PipeMetrics metrics_;
 
   bool busy_ = false;
   std::uint64_t queued_bytes_ = 0;

@@ -1,0 +1,108 @@
+// Emulator-health monitoring.
+//
+// Becker et al. (arXiv:2208.05862) caution that an overloaded emulator
+// silently produces wrong results; the health monitor makes overload
+// visible. A PeriodicTask samples the platform every `period` of simulated
+// time and emits:
+//
+//   - a `metrics.csv` timeline (CsvWriter: stdout + $P2PLAB_RESULTS_DIR):
+//     sim time, wall time, events dispatched, queue depth, events per wall
+//     second, sim seconds per wall second, plus any tracked registry
+//     metrics — the folding-ratio benches watch sim-per-wall collapse here;
+//   - a wall-clock-rate-limited stderr heartbeat so a multi-hour bench run
+//     is observable from a terminal;
+//   - an end-of-run report (print_report) of overall rates and every
+//     registry metric.
+//
+// The monitor schedules simulation events; run loops that wait for the
+// queue to drain (Simulation::run) will never finish while it is started.
+// Use run_until/bounded loops (as the swarm benches do), and stop() the
+// monitor before the simulation is destroyed.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace p2plab::metrics {
+
+/// Print every registry metric as '#'-prefixed comment lines (safe to
+/// interleave with CSV output).
+void print_registry_report(const Registry& reg, std::FILE* out = stdout);
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Simulated time between samples.
+    Duration period = Duration::sec(60);
+    /// CsvWriter name; the timeline lands in $P2PLAB_RESULTS_DIR/<name>.csv.
+    std::string csv_name = "metrics";
+    /// Registry metric names appended as extra timeline columns.
+    std::vector<std::string> tracked;
+    /// Minimum wall seconds between stderr heartbeats; <= 0 disables.
+    double heartbeat_wall_seconds = 10.0;
+  };
+
+  HealthMonitor();
+  explicit HealthMonitor(Options options);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Begin sampling `sim` against `reg`. May be called again after stop()
+  /// for a successive run (the fig9 fold sweep); rows append to the same
+  /// timeline, distinguished by the label column.
+  void start(sim::Simulation& sim, Registry& reg);
+  /// Tag subsequent rows (e.g. "fold=40"). Empty by default.
+  void set_label(std::string label) { label_ = std::move(label); }
+  /// Take a final sample and detach from the simulation. Must be called
+  /// before the simulation is destroyed.
+  void stop();
+
+  bool running() const { return sim_ != nullptr; }
+  std::uint64_t samples() const { return samples_; }
+  /// Wall seconds spent between start() and stop(), summed over runs.
+  double wall_seconds() const;
+  /// Events dispatched while monitored, summed over runs.
+  std::uint64_t events_observed() const;
+
+  /// Overall rates plus the full registry dump, as '#' comment lines.
+  /// After stop(), dumps the registry of the last run — call it before
+  /// that registry is destroyed.
+  void print_report(std::FILE* out = stdout) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void sample(bool final_sample);
+
+  Options opt_;
+  std::unique_ptr<CsvWriter> csv_;
+  sim::PeriodicTask task_;
+  sim::Simulation* sim_ = nullptr;
+  Registry* reg_ = nullptr;
+  Registry* last_reg_ = nullptr;  // registry of the last stopped run
+  std::string label_;
+
+  Clock::time_point run_wall_start_;
+  Clock::time_point last_wall_;
+  double last_heartbeat_wall_s_ = 0.0;
+  std::uint64_t run_events_start_ = 0;
+  std::uint64_t last_events_ = 0;
+  SimTime last_sim_time_;
+  std::uint64_t samples_ = 0;
+
+  // Totals accumulated across completed runs (start/stop pairs).
+  double done_wall_s_ = 0.0;
+  std::uint64_t done_events_ = 0;
+};
+
+}  // namespace p2plab::metrics

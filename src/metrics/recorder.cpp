@@ -1,0 +1,130 @@
+#include "metrics/recorder.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace p2plab::metrics {
+
+namespace {
+
+FlightRecorder* g_active = nullptr;
+
+void crash_dump() {
+  FlightRecorder* rec = g_active;
+  if (rec == nullptr || rec->size() == 0) return;
+  // Best effort from a dying process: prefer the results dir, fall back to
+  // stderr so the post-mortem is never silently lost.
+  if (rec->flush_to_results("trace.jsonl")) {
+    std::fprintf(stderr,
+                 "p2plab: flight recorder dumped %zu events to "
+                 "$P2PLAB_RESULTS_DIR/trace.jsonl\n",
+                 rec->size());
+  } else {
+    std::fprintf(stderr, "p2plab: flight recorder (%zu events):\n",
+                 rec->size());
+    rec->flush(stderr);
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  P2PLAB_ASSERT(capacity > 0);
+  buf_.resize(capacity);
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (g_active == this) set_active(nullptr);
+}
+
+void FlightRecorder::record(SimTime t, std::string_view subsystem,
+                            std::string_view kind,
+                            std::vector<TraceField> fields) {
+  Event& slot = buf_[next_];
+  slot.t = t;
+  slot.subsystem.assign(subsystem);
+  slot.kind.assign(kind);
+  slot.fields = std::move(fields);
+  next_ = (next_ + 1) % buf_.size();
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                              : buf_.size();
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  return total_ <= buf_.size() ? 0 : total_ - buf_.size();
+}
+
+void FlightRecorder::clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string FlightRecorder::escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::flush(std::FILE* out) const {
+  const std::size_t held = size();
+  const std::size_t start = total_ > buf_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    const Event& ev = buf_[(start + i) % buf_.size()];
+    std::fprintf(out, "{\"t\":%.9f,\"subsystem\":\"%s\",\"kind\":\"%s\"",
+                 ev.t.to_seconds(), escape_json(ev.subsystem).c_str(),
+                 escape_json(ev.kind).c_str());
+    for (const TraceField& f : ev.fields) {
+      if (f.numeric) {
+        std::fprintf(out, ",\"%s\":%.10g", escape_json(f.key).c_str(),
+                     f.num);
+      } else {
+        std::fprintf(out, ",\"%s\":\"%s\"", escape_json(f.key).c_str(),
+                     escape_json(f.str).c_str());
+      }
+    }
+    std::fputs("}\n", out);
+  }
+}
+
+bool FlightRecorder::flush_to_results(const char* filename) const {
+  const char* dir = std::getenv("P2PLAB_RESULTS_DIR");
+  if (dir == nullptr) return false;
+  const std::string path = std::string(dir) + "/" + filename;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  flush(out);
+  std::fclose(out);
+  return true;
+}
+
+void FlightRecorder::set_active(FlightRecorder* recorder) {
+  g_active = recorder;
+  p2plab::detail::g_assert_hook = recorder != nullptr ? &crash_dump : nullptr;
+}
+
+FlightRecorder* FlightRecorder::active() { return g_active; }
+
+}  // namespace p2plab::metrics

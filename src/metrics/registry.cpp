@@ -1,0 +1,59 @@
+#include "metrics/registry.hpp"
+
+namespace p2plab::metrics {
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  P2PLAB_ASSERT_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                    "histogram bounds must ascend");
+  Entry& e = entry(name, MetricKind::kHistogram);
+  if (e.hist.buckets.empty()) {
+    e.hist.bounds = std::move(bounds);
+    e.hist.buckets.assign(e.hist.bounds.size() + 1, 0);
+  }
+  return Histogram{&e.hist};
+}
+
+std::vector<Registry::SnapshotEntry> Registry::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out.push_back({name, e.kind, static_cast<double>(e.counter), nullptr});
+        break;
+      case MetricKind::kGauge:
+        out.push_back({name, e.kind, e.gauge, nullptr});
+        break;
+      case MetricKind::kHistogram:
+        out.push_back({name, e.kind, static_cast<double>(e.hist.count),
+                       &e.hist});
+        break;
+    }
+  }
+  return out;
+}
+
+double Registry::value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return 0.0;
+  switch (it->second.kind) {
+    case MetricKind::kCounter:
+      return static_cast<double>(it->second.counter);
+    case MetricKind::kGauge:
+      return it->second.gauge;
+    case MetricKind::kHistogram:
+      return static_cast<double>(it->second.hist.count);
+  }
+  return 0.0;
+}
+
+void Registry::reset() {
+  for (auto& [name, e] : entries_) {
+    e.counter = 0;
+    e.gauge = 0.0;
+    e.hist.reset();
+  }
+}
+
+}  // namespace p2plab::metrics

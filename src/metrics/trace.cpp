@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
 
 namespace p2plab::metrics {
 
@@ -33,12 +34,30 @@ CsvWriter::CsvWriter(const std::string& name,
   if (const char* dir = std::getenv("P2PLAB_RESULTS_DIR")) {
     const std::string path = std::string(dir) + "/" + name + ".csv";
     file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+      // Unwritable results dir: degrade to stdout-only, and complain once
+      // per process rather than once per table.
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        P2PLAB_LOG_WARN(
+            "P2PLAB_RESULTS_DIR=%s is not writable (%s); CSV mirrors "
+            "disabled, stdout only",
+            dir, path.c_str());
+      }
+    }
   }
   emit(join(columns));
 }
 
 CsvWriter::~CsvWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  // Flush both sinks even when no data rows were written: a header-only
+  // (or comment-only) table must still land on disk for post-mortems.
+  std::fflush(stdout);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
 }
 
 void CsvWriter::row(const std::vector<double>& values) {

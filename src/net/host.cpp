@@ -39,6 +39,10 @@ Duration Host::charge_cpu(Duration work) {
                    (work.count_ns() % config_.n_cpus != 0 ? 1 : 0));
   cpu_busy_until_ = start + service;
   cpu_consumed_ += work;
+  // Host is a friend of Network; the shared counter aggregates CPU work
+  // across all hosts.
+  network_.metrics_.cpu_charged_ns.inc(
+      static_cast<std::uint64_t>(work.count_ns()));
   return (start - now) + work;
 }
 

@@ -15,7 +15,23 @@ Host& Network::add_host(std::string name, Ipv4Addr admin_ip,
   hosts_.push_back(std::make_unique<Host>(*this, std::move(name), admin_ip,
                                           config,
                                           rng_.fork(hosts_.size() + 100)));
+  if (bound_reg_ != nullptr) hosts_.back()->firewall().bind_metrics(*bound_reg_);
   return *hosts_.back();
+}
+
+void Network::bind_metrics(metrics::Registry& reg) {
+  metrics_.packets_sent = reg.counter("net.packets_sent");
+  metrics_.packets_delivered = reg.counter("net.packets_delivered");
+  metrics_.packets_dropped_fw = reg.counter("net.packets_dropped_fw");
+  metrics_.packets_dropped_pipe = reg.counter("net.packets_dropped_pipe");
+  metrics_.packets_unroutable = reg.counter("net.packets_unroutable");
+  metrics_.bytes_sent = reg.counter("net.bytes_sent");
+  metrics_.bytes_delivered = reg.counter("net.bytes_delivered");
+  metrics_.nic_tx_bytes = reg.counter("net.nic.tx_bytes");
+  metrics_.nic_rx_bytes = reg.counter("net.nic.rx_bytes");
+  metrics_.cpu_charged_ns = reg.counter("net.cpu_charged_ns");
+  bound_reg_ = &reg;
+  for (auto& host : hosts_) host->firewall().bind_metrics(reg);
 }
 
 Host* Network::host_of(Ipv4Addr addr) {
@@ -32,12 +48,15 @@ void Network::register_address(Ipv4Addr addr, Host* host) {
 void Network::send(Packet packet) {
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.wire_size.count_bytes();
+  metrics_.packets_sent.inc();
+  metrics_.bytes_sent.inc(packet.wire_size.count_bytes());
   packet.sent_at = sim_.now();
 
   Host* src = host_of(packet.src);
   P2PLAB_ASSERT_MSG(src != nullptr, "packet sent from unknown address");
   if (host_of(packet.dst) == nullptr) {
     ++stats_.packets_unroutable;
+    metrics_.packets_unroutable.inc();
     return;
   }
   leave_source(std::make_shared<Packet>(std::move(packet)), *src);
@@ -48,6 +67,7 @@ void Network::leave_source(std::shared_ptr<Packet> packet, Host& src) {
                                              ipfw::RuleDir::kOut);
   if (match.denied) {
     ++stats_.packets_dropped_fw;
+    metrics_.packets_dropped_fw.inc();
     return;
   }
   // Firewall scan + stack processing are CPU work on the source host.
@@ -59,6 +79,7 @@ void Network::leave_source(std::shared_ptr<Packet> packet, Host& src) {
                  Host* dst = host_of(packet->dst);
                  if (dst == nullptr) {  // address vanished mid-flight
                    ++stats_.packets_unroutable;
+                   metrics_.packets_unroutable.inc();
                    return;
                  }
                  if (dst == &src) {
@@ -85,15 +106,19 @@ void Network::traverse_fabric(std::shared_ptr<Packet> packet, Host& src,
   const auto tx_delay = src.nic_tx().transmit(now, packet->wire_size);
   if (!tx_delay) {
     ++stats_.packets_dropped_pipe;
+    metrics_.packets_dropped_pipe.inc();
     return;
   }
+  metrics_.nic_tx_bytes.inc(packet->wire_size.count_bytes());
   const SimTime at_switch_out = now + *tx_delay + config_.switch_latency;
   const auto rx_delay =
       dst.nic_rx().transmit(at_switch_out, packet->wire_size);
   if (!rx_delay) {
     ++stats_.packets_dropped_pipe;
+    metrics_.packets_dropped_pipe.inc();
     return;
   }
+  metrics_.nic_rx_bytes.inc(packet->wire_size.count_bytes());
   sim_.schedule_at(at_switch_out + *rx_delay, [this, packet, &dst] {
     arrive_at_destination(packet, dst);
   });
@@ -105,6 +130,7 @@ void Network::arrive_at_destination(std::shared_ptr<Packet> packet,
                                              ipfw::RuleDir::kIn);
   if (match.denied) {
     ++stats_.packets_dropped_fw;
+    metrics_.packets_dropped_fw.inc();
     return;
   }
   const Duration cpu_delay = dst.charge_cpu(dst.firewall().scan_cost(match) +
@@ -123,6 +149,8 @@ void Network::arrive_at_destination(std::shared_ptr<Packet> packet,
 void Network::deliver(std::shared_ptr<Packet> packet) {
   ++stats_.packets_delivered;
   stats_.bytes_delivered += packet->wire_size.count_bytes();
+  metrics_.packets_delivered.inc();
+  metrics_.bytes_delivered.inc(packet->wire_size.count_bytes());
   if (packet->on_deliver) {
     auto cb = std::move(packet->on_deliver);
     cb(std::move(*packet));
@@ -149,7 +177,11 @@ void Network::pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
             pass_pipes(packet, fw, std::move(pipes), index + 1,
                        std::move(done));
           },
-      .on_drop = [this] { ++stats_.packets_dropped_pipe; }});
+      .on_drop =
+          [this] {
+            ++stats_.packets_dropped_pipe;
+            metrics_.packets_dropped_pipe.inc();
+          }});
 }
 
 }  // namespace p2plab::net

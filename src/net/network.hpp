@@ -24,6 +24,7 @@
 
 #include "common/ipv4.hpp"
 #include "common/rng.hpp"
+#include "metrics/registry.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -42,6 +43,22 @@ struct NetworkStats {
   std::uint64_t packets_unroutable = 0;       // no host owns the address
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+};
+
+/// Registry handles for the "net.*" metrics. The NIC byte counters are the
+/// per-link load view (fabric hops only — loopback between co-located
+/// vnodes never touches a NIC, which is the folding win being measured).
+struct NetMetrics {
+  metrics::Counter packets_sent;
+  metrics::Counter packets_delivered;
+  metrics::Counter packets_dropped_fw;
+  metrics::Counter packets_dropped_pipe;
+  metrics::Counter packets_unroutable;
+  metrics::Counter bytes_sent;
+  metrics::Counter bytes_delivered;
+  metrics::Counter nic_tx_bytes;
+  metrics::Counter nic_rx_bytes;
+  metrics::Counter cpu_charged_ns;  // host CPU work (stack + rule scans)
 };
 
 class Network {
@@ -71,6 +88,10 @@ class Network {
   /// timeout, exactly like the real platform).
   void send(Packet packet);
 
+  /// Resolve "net.*" handles from `reg` and bind the firewall of every
+  /// host, present and future ("ipfw.*" aggregates across hosts).
+  void bind_metrics(metrics::Registry& reg);
+
  private:
   friend class Host;
   void register_address(Ipv4Addr addr, Host* host);
@@ -90,6 +111,8 @@ class Network {
   Rng rng_;
   NetworkConfig config_;
   NetworkStats stats_;
+  NetMetrics metrics_;
+  metrics::Registry* bound_reg_ = nullptr;  // for hosts added after binding
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unordered_map<std::uint32_t, Host*> by_address_;
 };

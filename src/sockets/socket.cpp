@@ -15,6 +15,21 @@ SocketManager::SocketManager(net::Network& network,
                              StreamConfig config)
     : network_(network), interceptor_(interceptor), config_(config) {}
 
+void SocketManager::bind_metrics(metrics::Registry& reg) {
+  metrics_.connects_started = reg.counter("sockets.connects_started");
+  metrics_.connects_established = reg.counter("sockets.connects_established");
+  metrics_.connects_failed = reg.counter("sockets.connects_failed");
+  metrics_.accepts = reg.counter("sockets.accepts");
+  metrics_.closes = reg.counter("sockets.closes");
+  metrics_.aborts = reg.counter("sockets.aborts");
+  metrics_.msgs_sent = reg.counter("sockets.msgs_sent");
+  metrics_.msgs_received = reg.counter("sockets.msgs_received");
+  metrics_.bytes_sent = reg.counter("sockets.bytes_sent");
+  metrics_.bytes_received = reg.counter("sockets.bytes_received");
+  metrics_.retransmits = reg.counter("sockets.retransmits");
+  metrics_.backpressure_stalls = reg.counter("sockets.backpressure_stalls");
+}
+
 std::uint16_t SocketManager::alloc_ephemeral_port(Ipv4Addr addr,
                                                   Proto proto) {
   std::uint16_t& next =
@@ -85,6 +100,7 @@ void StreamSocket::start_connect(
   on_connected_ = std::move(on_connected);
   on_connect_fail_ = std::move(on_fail);
   state_ = State::kSynSent;
+  mgr_.metrics().connects_started.inc();
   // Like a kernel socket, the connection owns itself until teardown: data
   // queued by an application that drops its reference still flushes.
   self_ref_ = shared_from_this();
@@ -124,6 +140,7 @@ void StreamSocket::send(Message message) {
 
 void StreamSocket::close() {
   if (state_ == State::kClosed) return;
+  mgr_.metrics().closes.inc();
   if (state_ != State::kSynSent) {
     send_control(net::PacketKind::kFin, 0);
   }
@@ -157,9 +174,16 @@ void StreamSocket::pump() {
     pending_bytes_ -= message.size.count_bytes();
     const std::uint64_t seq = next_seq_++;
     inflight_bytes_ += message.size.count_bytes();
+    mgr_.metrics().msgs_sent.inc();
+    mgr_.metrics().bytes_sent.inc(message.size.count_bytes());
     inflight_.push_back(InFlight{seq, message, mgr_.sim().now(), false});
     transmit_data(seq, message);
     sent = true;
+  }
+  if (!pending_.empty()) {
+    // Send window full with data still queued: the application is being
+    // backpressured until acks drain the window.
+    mgr_.metrics().backpressure_stalls.inc();
   }
   if (sent && !inflight_.empty()) {
     arm_timer(inflight_.front().sent_at + rto());
@@ -235,6 +259,7 @@ void StreamSocket::handle_packet(net::Packet&& packet) {
         srtt_s_ = sample.to_seconds();
         rttvar_s_ = srtt_s_ / 2.0;
         state_ = State::kEstablished;
+        mgr_.metrics().connects_established.inc();
         if (on_connected_) {
           auto cb = std::move(on_connected_);
           on_connected_ = nullptr;
@@ -268,6 +293,7 @@ void StreamSocket::handle_packet(net::Packet&& packet) {
       on_ack(packet.seq);
       break;
     case net::PacketKind::kFin: {
+      mgr_.metrics().closes.inc();
       teardown();
       if (on_close_) {
         auto handler = on_close_;
@@ -304,6 +330,8 @@ void StreamSocket::on_data(net::Packet&& packet) {
   Message message = *static_cast<const Message*>(packet.body.get());
   ++expected_seq_;
   bytes_received_ += message.size.count_bytes();
+  mgr_.metrics().msgs_received.inc();
+  mgr_.metrics().bytes_received.inc(message.size.count_bytes());
   if (on_message_) {
     // Invoke through a copy: the handler may replace or clear itself
     // (e.g. an application tearing the connection down mid-dispatch).
@@ -321,6 +349,8 @@ void StreamSocket::deliver_in_order() {
     it = reorder_.erase(it);
     ++expected_seq_;
     bytes_received_ += message.size.count_bytes();
+    mgr_.metrics().msgs_received.inc();
+    mgr_.metrics().bytes_received.inc(message.size.count_bytes());
     if (on_message_) {
       auto handler = on_message_;
       handler(std::move(message));
@@ -426,6 +456,7 @@ void StreamSocket::timer_fired() {
       return;
     }
     if (++syn_retries_ > mgr_.stream_config().max_syn_retries) {
+      mgr_.metrics().connects_failed.inc();
       auto fail = std::move(on_connect_fail_);
       teardown();
       if (fail) fail();
@@ -445,6 +476,7 @@ void StreamSocket::timer_fired() {
   }
   if (++consecutive_timeouts_ > mgr_.stream_config().max_retransmit_timeouts) {
     // The peer is unreachable: abort like ETIMEDOUT.
+    mgr_.metrics().aborts.inc();
     teardown();
     if (on_close_) {
       auto handler = on_close_;
@@ -458,6 +490,7 @@ void StreamSocket::timer_fired() {
   for (InFlight& entry : inflight_) {
     entry.sent_at = now;
     entry.retransmitted = true;
+    mgr_.metrics().retransmits.inc();
     bytes_sent_ -= entry.message.size.count_bytes();  // counted again below
     transmit_data(entry.seq, entry.message);
   }
@@ -489,6 +522,7 @@ void Listener::handle_packet(net::Packet&& packet) {
       return;
     }
     if (!accepting_) return;
+    mgr_.metrics().accepts.inc();
     host_.charge_cpu(mgr_.interceptor().costs().sys_accept);
     StreamSocketPtr socket{new StreamSocket(mgr_, host_)};
     socket->start_accepted(local_ip_, local_port_, packet.src,

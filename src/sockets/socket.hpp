@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "common/ipv4.hpp"
+#include "metrics/registry.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
 #include "sockets/message.hpp"
@@ -56,6 +57,22 @@ struct StreamConfig {
   /// remote's on_close cannot fire; the local one does, like ETIMEDOUT).
   int max_retransmit_timeouts = 12;
   size_t max_reorder_buffer = 1024;  // out-of-order messages kept
+};
+
+/// Shared "sockets.*" registry handles for every socket of one manager.
+struct SocketMetrics {
+  metrics::Counter connects_started;
+  metrics::Counter connects_established;
+  metrics::Counter connects_failed;  // SYN retries exhausted
+  metrics::Counter accepts;
+  metrics::Counter closes;  // orderly close() / received FIN
+  metrics::Counter aborts;  // retransmit timeouts exhausted (ETIMEDOUT)
+  metrics::Counter msgs_sent;
+  metrics::Counter msgs_received;
+  metrics::Counter bytes_sent;
+  metrics::Counter bytes_received;
+  metrics::Counter retransmits;          // go-back-N segments resent
+  metrics::Counter backpressure_stalls;  // pump left data queued (full window)
 };
 
 /// Owns the port table and transport-wide configuration for one network.
@@ -91,6 +108,11 @@ class SocketManager {
   /// Deliver handler installed on every packet the socket layer sends.
   void dispatch(net::Packet&& packet);
 
+  /// Resolve "sockets.*" handles from `reg` (affects all sockets of this
+  /// manager, existing and future — the handles are read through here).
+  void bind_metrics(metrics::Registry& reg);
+  const SocketMetrics& metrics() const { return metrics_; }
+
  private:
   static std::uint64_t key(Ipv4Addr addr, std::uint16_t port, Proto proto) {
     return (std::uint64_t{addr.to_u32()} << 17) |
@@ -100,6 +122,7 @@ class SocketManager {
   net::Network& network_;
   vnode::Interceptor interceptor_;
   StreamConfig config_;
+  SocketMetrics metrics_;
   std::uint64_t conn_counter_ = 0;
   std::unordered_map<std::uint64_t, Endpoint*> endpoints_;
   std::unordered_map<std::uint64_t, std::uint16_t> next_ephemeral_;

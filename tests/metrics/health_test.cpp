@@ -1,0 +1,122 @@
+#include "metrics/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/time.hpp"
+#include "metrics/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace p2plab::metrics {
+namespace {
+
+std::string report_to_string(const HealthMonitor& monitor) {
+  std::FILE* tmp = std::tmpfile();
+  monitor.print_report(tmp);
+  std::rewind(tmp);
+  std::string out;
+  char buf[256];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, tmp)) > 0) out.append(buf, n);
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(HealthMonitor, SamplesPeriodicallyPlusFinal) {
+  sim::Simulation sim;
+  Registry reg;
+  HealthMonitor monitor({.period = Duration::sec(1),
+                         .csv_name = "health_test",
+                         .heartbeat_wall_seconds = 0.0});
+  monitor.start(sim, reg);
+  sim.run_until(SimTime::zero() + Duration::ms(3500));
+  EXPECT_EQ(monitor.samples(), 3u);  // ticks at t = 1, 2, 3
+  monitor.stop();
+  EXPECT_EQ(monitor.samples(), 4u);  // + final sample
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST(HealthMonitor, RestartAccumulatesAcrossRuns) {
+  sim::Simulation sim;
+  Registry reg;
+  Counter tick = reg.counter("test.ticks");
+  HealthMonitor monitor({.period = Duration::sec(1),
+                         .csv_name = "health_restart_test",
+                         .tracked = {"test.ticks"},
+                         .heartbeat_wall_seconds = 0.0});
+
+  monitor.set_label("run=1");
+  monitor.start(sim, reg);
+  sim.schedule_after(Duration::ms(500), [&tick] { tick.inc(); });
+  sim.run_until(SimTime::zero() + Duration::ms(1500));
+  monitor.stop();
+  const std::uint64_t first_events = monitor.events_observed();
+  EXPECT_GE(first_events, 2u);  // user event + at least one sampler tick
+
+  monitor.set_label("run=2");
+  monitor.start(sim, reg);
+  sim.run_until(SimTime::zero() + Duration::ms(3500));
+  monitor.stop();
+  EXPECT_GT(monitor.events_observed(), first_events);
+  EXPECT_GE(monitor.samples(), 4u);
+}
+
+TEST(HealthMonitor, PrintReportDumpsRegistry) {
+  sim::Simulation sim;
+  Registry reg;
+  Counter c = reg.counter("test.answer");
+  c.inc(42);
+  HealthMonitor monitor({.period = Duration::sec(1),
+                         .csv_name = "health_report_test",
+                         .heartbeat_wall_seconds = 0.0});
+  monitor.start(sim, reg);
+  sim.run_until(SimTime::zero() + Duration::ms(1500));
+  monitor.stop();
+
+  // After stop() the monitor reports the last run's registry.
+  const std::string report = report_to_string(monitor);
+  EXPECT_NE(report.find("# --- metrics report ---"), std::string::npos);
+  EXPECT_NE(report.find("# test.answer = 42"), std::string::npos);
+  EXPECT_NE(report.find("# --- end metrics report ---"), std::string::npos);
+}
+
+TEST(HealthMonitor, TimelineLandsInResultsDir) {
+  char dir_template[] = "/tmp/p2plab_health_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("P2PLAB_RESULTS_DIR", dir_template, 1);
+  {
+    sim::Simulation sim;
+    Registry reg;
+    Counter c = reg.counter("test.val");
+    c.inc(7);
+    HealthMonitor monitor({.period = Duration::sec(1),
+                           .csv_name = "health_csv_test",
+                           .tracked = {"test.val"},
+                           .heartbeat_wall_seconds = 0.0});
+    monitor.set_label("fold=2");
+    monitor.start(sim, reg);
+    sim.run_until(SimTime::zero() + Duration::ms(2500));
+    monitor.stop();
+  }  // CsvWriter flushes on destruction
+  unsetenv("P2PLAB_RESULTS_DIR");
+
+  std::ifstream file(std::string(dir_template) + "/health_csv_test.csv");
+  ASSERT_TRUE(file.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(file, header));
+  EXPECT_NE(header.find("label"), std::string::npos);
+  EXPECT_NE(header.find("sim_s_per_wall_s"), std::string::npos);
+  EXPECT_NE(header.find("test.val"), std::string::npos);
+  std::string row;
+  ASSERT_TRUE(std::getline(file, row));
+  EXPECT_EQ(row.rfind("fold=2,", 0), 0u);
+  EXPECT_NE(row.find("7"), std::string::npos);  // tracked column value
+}
+
+}  // namespace
+}  // namespace p2plab::metrics

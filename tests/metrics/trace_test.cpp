@@ -37,6 +37,29 @@ TEST(CsvWriter, NoEnvNoFile) {
   EXPECT_EQ(csv.rows_written(), 1u);
 }
 
+TEST(CsvWriter, UnwritableResultsDirFallsBackToStdout) {
+  setenv("P2PLAB_RESULTS_DIR", "/nonexistent/no/such/dir", 1);
+  {
+    CsvWriter csv("unwritable", {"a"});
+    csv.row(std::vector<double>{1.0});  // must not crash; stdout still works
+    EXPECT_EQ(csv.rows_written(), 1u);
+  }
+  unsetenv("P2PLAB_RESULTS_DIR");
+}
+
+TEST(CsvWriter, HeaderOnlyTableStillFlushes) {
+  char dir_template[] = "/tmp/p2plab_trace_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("P2PLAB_RESULTS_DIR", dir_template, 1);
+  { CsvWriter csv("empty_table", {"a", "b"}); }  // zero rows
+  unsetenv("P2PLAB_RESULTS_DIR");
+  std::ifstream file(std::string(dir_template) + "/empty_table.csv");
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n");
+}
+
 TEST(CsvWriter, RowWidthChecked) {
   unsetenv("P2PLAB_RESULTS_DIR");
   CsvWriter csv("strict", {"a", "b"});
