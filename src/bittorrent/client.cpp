@@ -81,10 +81,37 @@ void Client::stop() {
   announce_task_.stop();
   sim_->cancel(refill_event_);
   refill_event_ = sim::EventId{};
+  sim_->cancel(announce_retry_event_);
+  announce_retry_event_ = sim::EventId{};
   announce(AnnounceEvent::kStopped);
   while (!peers_.empty()) {
     remove_peer(peers_.begin()->first, /*close_socket=*/true);
   }
+  if (listener_) listener_->stop_accepting();
+  listener_.reset();
+}
+
+void Client::crash() {
+  if (!started_) return;
+  started_ = false;
+  rechoke_task_.stop();
+  announce_task_.stop();
+  sim_->cancel(refill_event_);
+  refill_event_ = sim::EventId{};
+  sim_->cancel(announce_retry_event_);
+  announce_retry_event_ = sim::EventId{};
+  announce_failures_streak_ = 0;
+  // No "stopped" announce, no socket closes: the platform's crash_vnode
+  // already aborted every socket at our address, so releasing them here
+  // sends nothing. Session state dies; store_/picker_ survive like a
+  // resume file for a later start().
+  while (!peers_.empty()) {
+    remove_peer(peers_.begin()->first, /*close_socket=*/false,
+                /*refill=*/false);
+  }
+  dialing_.clear();
+  initiated_connections_ = 0;
+  known_peers_.clear();
   if (listener_) listener_->stop_accepting();
   listener_.reset();
 }
@@ -115,11 +142,21 @@ void Client::announce(AnnounceEvent event) {
   api_->connect(
       tracker_.ip, tracker_.port,
       [this, event](sockets::StreamSocketPtr sock) {
+        // Death before a response (tracker crashed mid-request, connection
+        // reset) counts as an announce failure. Weak capture: the close
+        // handler must not keep the socket alive.
+        std::weak_ptr<sockets::StreamSocket> weak = sock;
+        sock->on_close([this, event, weak] {
+          if (const auto s = weak.lock()) s->on_message(nullptr);
+          on_announce_failure(event);
+        });
         sock->on_message([this, sock](sockets::Message&& msg) {
           if (msg.type !=
               static_cast<std::uint32_t>(MsgType::kTrackerResponse)) {
             return;
           }
+          announce_failures_streak_ = 0;
+          sock->on_close(nullptr);
           handle_tracker_response(msg.as<TrackerResponseMsg>().response);
           sock->close();
         });
@@ -138,11 +175,50 @@ void Client::announce(AnnounceEvent event) {
             TrackerAnnounceMsg{request});
         sock->send(std::move(msg));
       },
-      [] { /* tracker unreachable; the periodic announce retries */ });
+      [this, event] { on_announce_failure(event); });
+}
+
+Duration Client::announce_backoff() const {
+  if (announce_failures_streak_ == 0) return Duration::zero();
+  // base * 2^(streak-1), saturating at the cap (shift bounded first so the
+  // multiply cannot overflow).
+  const std::uint32_t doublings =
+      std::min<std::uint32_t>(announce_failures_streak_ - 1, 16);
+  const Duration raw = config_.announce_retry_base
+                       * static_cast<std::int64_t>(1u << doublings);
+  return std::min(raw, config_.announce_retry_cap);
+}
+
+void Client::on_announce_failure(AnnounceEvent event) {
+  ++stats_.announce_failures;
+  if (!started_) return;  // farewell announce: nobody left to retry for
+  ++announce_failures_streak_;
+  P2PLAB_TRACE(sim_->now(), "bt", "announce_failed",
+               {{"ip", ip().to_string()},
+                {"streak", announce_failures_streak_}});
+  // Graceful degradation: fall back on the cached peer list from earlier
+  // responses — the swarm outlives its tracker.
+  connect_more();
+  if (announce_retry_event_.valid()) return;  // a retry is already pending
+  const double jitter =
+      1.0 + config_.announce_retry_jitter * (2.0 * rng_.uniform01() - 1.0);
+  const Duration delay = announce_backoff().scaled(jitter);
+  announce_retry_event_ = sim_->schedule_after(delay, [this, event] {
+    announce_retry_event_ = sim::EventId{};
+    if (!started_) return;
+    ++stats_.announce_retries;
+    announce(event);
+  });
 }
 
 void Client::handle_tracker_response(const AnnounceResponse& response) {
   if (!started_) return;
+  if (announce_retry_event_.valid()) {
+    // A parallel announce (periodic tick) got through first; the backoff
+    // retry is moot.
+    sim_->cancel(announce_retry_event_);
+    announce_retry_event_ = sim::EventId{};
+  }
   for (const PeerInfo& info : response.peers) {
     if (info.ip == ip()) continue;
     const bool known =
@@ -261,6 +337,7 @@ void Client::remove_peer(std::uint32_t key, bool close_socket, bool refill) {
   if (it == peers_.end()) return;
   Peer& peer = *it->second;
   // Release picker state for anything we were waiting on from this peer.
+  const bool had_inflight = !peer.inflight.empty();
   for (const Peer::Outstanding& out : peer.inflight) {
     picker_.on_request_discarded(out.ref);
   }
@@ -276,6 +353,9 @@ void Client::remove_peer(std::uint32_t key, bool close_socket, bool refill) {
       if (started_) connect_more();
     });
   }
+  // The dead peer's blocks went back to the picker; hand them to the
+  // surviving peers now (see sweep_requests).
+  if (started_ && had_inflight) sweep_requests();
 }
 
 Client::Peer* Client::find_peer(std::uint32_t key) {
@@ -313,10 +393,12 @@ void Client::on_wire(std::uint32_t key, const WireMsg& msg) {
     case MsgType::kChoke: {
       peer->peer_choking = true;
       // Outstanding requests are void once choked.
+      const bool had_inflight = !peer->inflight.empty();
       for (const Peer::Outstanding& out : peer->inflight) {
         picker_.on_request_discarded(out.ref);
       }
       peer->inflight.clear();
+      if (had_inflight) sweep_requests();
       break;
     }
     case MsgType::kUnchoke:
@@ -481,6 +563,13 @@ void Client::try_request(Peer& peer) {
   }
 }
 
+void Client::sweep_requests() {
+  if (store_.complete()) return;
+  for (auto& [key, peer] : peers_) {
+    if (peer->handshake_rx && !peer->peer_choking) try_request(*peer);
+  }
+}
+
 void Client::pump_uploads(Peer& peer) {
   // Serve queued requests only while the socket's send buffer is shallow:
   // blocks not yet handed to the transport can still be retracted by a
@@ -603,6 +692,10 @@ void Client::rechoke() {
       send_msg(*peer, std::move(msg));
     }
   }
+  // Safety net for the download tail: any blocks released above (stalled
+  // requests of snubbed peers) or still parked since a peer died must get
+  // re-requested even when no PIECE arrival will trigger it.
+  sweep_requests();
 }
 
 }  // namespace p2plab::bt

@@ -60,6 +60,12 @@ struct ClientConfig {
   /// Verify piece SHA-1s on completion (requires hashed metainfo). Costs
   /// real CPU proportional to the file size; scalability runs disable it.
   bool verify_hashes = false;
+  /// Failed announces retry with exponential backoff: base * 2^(n-1),
+  /// capped, with +/-jitter (fraction of the delay) to desynchronize the
+  /// swarm's retry storm when a tracker outage ends.
+  Duration announce_retry_base = Duration::sec(5);
+  Duration announce_retry_cap = Duration::sec(300);
+  double announce_retry_jitter = 0.25;
 };
 
 struct ClientStats {
@@ -75,6 +81,8 @@ struct ClientStats {
   std::uint64_t removals_collision = 0;  // simultaneous-open tie-break
   std::uint64_t removals_badhash = 0;    // wrong infohash
   std::uint64_t accepts_rejected = 0;    // listener at max_connections
+  std::uint64_t announce_failures = 0;   // tracker unreachable / no reply
+  std::uint64_t announce_retries = 0;    // backoff retries fired
 };
 
 /// Shared "bt.*" registry handles; the same cells aggregate every client
@@ -100,6 +108,14 @@ class Client {
 
   void start();
   void stop();
+  /// kill -9: drop all session state with no goodbyes — no CHOKEs, FINs or
+  /// "stopped" announce. Call under Platform::crash_vnode (which silences
+  /// the sockets); downloaded pieces survive like on-disk data, so a
+  /// subsequent start() resumes the download, modelling a process restart.
+  void crash();
+
+  /// Current announce-retry backoff delay (zero when healthy); for tests.
+  Duration announce_backoff() const;
 
   Ipv4Addr ip() const { return api_->effective_bind_address(); }
   bool started() const { return started_; }
@@ -156,6 +172,7 @@ class Client {
   // -- connection management ----------------------------------------------
   void announce(AnnounceEvent event);
   void handle_tracker_response(const AnnounceResponse& response);
+  void on_announce_failure(AnnounceEvent event);
   void connect_more();
   Peer* add_peer(sockets::StreamSocketPtr sock, bool initiated);
   void remove_peer(std::uint32_t key, bool close_socket,
@@ -169,6 +186,11 @@ class Client {
   void on_piece_msg(Peer& peer, const WireMsg& msg);
   void update_interest(Peer& peer);
   void try_request(Peer& peer);
+  /// Re-drive requests on every unchoked peer. Run after picker blocks are
+  /// re-queued (peer death, choke, stalled-request release): without it the
+  /// re-queued blocks sit unrequested until the next PIECE arrival, which
+  /// near the end of a download may never come (the wedge under churn).
+  void sweep_requests();
   int backlog_for(Peer& peer);
   void pump_uploads(Peer& peer);
   void broadcast_have(std::uint32_t piece);
@@ -203,6 +225,9 @@ class Client {
 
   sim::PeriodicTask rechoke_task_;
   sim::PeriodicTask announce_task_;
+  /// Pending backoff retry after a failed announce (at most one).
+  sim::EventId announce_retry_event_;
+  std::uint32_t announce_failures_streak_ = 0;
   /// Refills after a disconnect are delayed (and coalesced): re-dialing the
   /// instant a FIN arrives races the winner SYN of a simultaneous-open
   /// tie-break and causes useless connection churn.

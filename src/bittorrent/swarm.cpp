@@ -43,10 +43,16 @@ Swarm::Swarm(core::Platform& platform, SwarmConfig config)
         platform.sim(), platform.api(v), meta_, tracker_info, client_config,
         /*start_as_seed=*/false, rng.fork(1000 + v)));
     Client* client = clients_.back().get();
+    // A fault plan may crash (or crash-and-rejoin) this vnode before the
+    // staggered start fires: skip the start if the node is offline or the
+    // rejoin hook already started the client.
+    core::Platform* plat = &platform;
     platform.sim().schedule_at(
         SimTime::zero() +
             config_.start_interval * static_cast<std::int64_t>(c),
-        [client] { client->start(); });
+        [client, plat, v] {
+          if (!client->started() && plat->vnode_online(v)) client->start();
+        });
   }
 }
 

@@ -30,6 +30,15 @@ void Tracker::start() {
       });
 }
 
+void Tracker::set_online(bool online) {
+  if (online == this->online()) return;
+  if (online) {
+    start();
+  } else {
+    listener_.reset();  // connects now meet a closed port -> fast refusal
+  }
+}
+
 std::size_t Tracker::swarm_size(const Sha1Digest& info_hash) const {
   const auto it = swarms_.find(key_of(info_hash));
   return it == swarms_.end() ? 0 : it->second.peers.size();

@@ -65,6 +65,12 @@ class Tracker {
   Ipv4Addr ip() const { return api_->effective_bind_address(); }
   std::uint16_t port() const { return config_.port; }
 
+  /// Service fault: take the tracker offline (the listener closes, so
+  /// announces are refused like a dead HTTP server) and back online. Swarm
+  /// state survives an outage — real trackers restart with their DB.
+  void set_online(bool online);
+  bool online() const { return listener_ != nullptr; }
+
   std::size_t swarm_size(const Sha1Digest& info_hash) const;
   std::uint64_t announces_served() const { return announces_; }
 

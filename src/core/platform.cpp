@@ -60,6 +60,9 @@ void Platform::deploy_vnodes() {
 }
 
 void Platform::compile_rules() {
+  access_pipes_.resize(topo_.total_nodes());
+  link_faults_.resize(topo_.total_nodes());
+  vnode_online_.assign(topo_.total_nodes(), true);
   // Per physical node: two pipe rules per hosted vnode (the emulated access
   // link, both directions), then one rule per inter-zone latency pair that
   // involves a zone with nodes hosted here (source side only; "the opposite
@@ -79,11 +82,15 @@ void Platform::compile_rules() {
       const Ipv4Addr addr = topo_.node_address(i);
       const CidrBlock host_block{addr, 32};
       hosted_zones.insert(topo_.zone_of_node(i));
+      const ipfw::GilbertElliott burst{.p_good_to_bad = link.burst_p_good_bad,
+                                       .p_bad_to_good = link.burst_p_bad_good,
+                                       .loss_bad = link.burst_loss_bad};
 
       const ipfw::PipeId up = fw.create_pipe(
           {.bandwidth = link.up,
            .delay = link.latency,
            .loss_rate = link.loss_rate,
+           .burst_loss = burst,
            .queue_limit = config_.vnode_pipe_queue,
            .fair_queue = true});
       fw.add_rule({.number = rule_number++, .src = host_block,
@@ -93,11 +100,13 @@ void Platform::compile_rules() {
           {.bandwidth = link.down,
            .delay = link.latency,
            .loss_rate = link.loss_rate,
+           .burst_loss = burst,
            .queue_limit = config_.vnode_pipe_queue,
            .fair_queue = true});
       fw.add_rule({.number = rule_number++, .src = CidrBlock::any(),
                    .dst = host_block, .dir = ipfw::RuleDir::kIn,
                    .action = ipfw::RuleAction::kPipe, .pipe = down});
+      access_pipes_[i] = AccessPipes{.pnode = p, .up = up, .down = down};
     }
 
     std::uint32_t group_rule_number = 60000;
@@ -123,6 +132,68 @@ void Platform::compile_rules() {
       if (hosts_side(pair.b)) add_group_rule(pair.b, pair.a);
     }
   }
+}
+
+void Platform::crash_vnode(std::size_t i) {
+  if (!vnode_online_.at(i)) return;
+  vnode_online_[i] = false;
+  const Ipv4Addr addr = topo_.node_address(i);
+  // Order matters: abort sockets first so their final state transitions do
+  // not try to transmit from an already-detached address.
+  sockets_->abort_endpoints_of(addr);
+  network_->detach_address(addr);
+}
+
+void Platform::rejoin_vnode(std::size_t i) {
+  if (vnode_online_.at(i)) return;
+  vnode_online_[i] = true;
+  network_->reattach_address(topo_.node_address(i), host_of_vnode(i));
+}
+
+void Platform::set_link_down(std::size_t i, bool down) {
+  const AccessPipes& ap = access_pipes_.at(i);
+  ipfw::Firewall& fw = network_->host(ap.pnode).firewall();
+  fw.pipe(ap.up).set_down(down);
+  fw.pipe(ap.down).set_down(down);
+}
+
+bool Platform::link_down(std::size_t i) const {
+  const AccessPipes& ap = access_pipes_.at(i);
+  return network_->host(ap.pnode).firewall().pipe(ap.up).is_down();
+}
+
+void Platform::set_link_latency_offset(std::size_t i, Duration extra) {
+  link_faults_.at(i).extra_latency = extra;
+  apply_link_config(i);
+}
+
+void Platform::set_link_burst_loss(std::size_t i,
+                                   const ipfw::GilbertElliott& ge) {
+  link_faults_.at(i).burst = ge;
+  link_faults_.at(i).burst_overridden = ge.enabled();
+  apply_link_config(i);
+}
+
+void Platform::apply_link_config(std::size_t i) {
+  const topology::LinkClass& link = topo_.link_of_node(i);
+  const LinkFaults& faults = link_faults_.at(i);
+  const AccessPipes& ap = access_pipes_.at(i);
+  ipfw::Firewall& fw = network_->host(ap.pnode).firewall();
+
+  ipfw::GilbertElliott burst{.p_good_to_bad = link.burst_p_good_bad,
+                             .p_bad_to_good = link.burst_p_bad_good,
+                             .loss_bad = link.burst_loss_bad};
+  if (faults.burst_overridden) burst = faults.burst;
+
+  ipfw::PipeConfig cfg{.bandwidth = link.up,
+                       .delay = link.latency + faults.extra_latency,
+                       .loss_rate = link.loss_rate,
+                       .burst_loss = burst,
+                       .queue_limit = config_.vnode_pipe_queue,
+                       .fair_queue = true};
+  fw.pipe(ap.up).reconfigure(cfg);
+  cfg.bandwidth = link.down;
+  fw.pipe(ap.down).reconfigure(cfg);
 }
 
 void Platform::ping(Ipv4Addr src, Ipv4Addr dst,

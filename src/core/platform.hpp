@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ipfw/pipe.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 #include "sockets/socket.hpp"
@@ -70,6 +71,45 @@ class Platform {
   /// Virtual nodes folded onto each physical node (ceil(N/P)).
   std::size_t folding_ratio() const;
 
+  // -- vnode lifecycle (fault injection) ----------------------------------
+  //
+  // A crash models `kill -9` of the studied process plus the loss of its
+  // network identity: every socket bound at the vnode's address is aborted
+  // (timers cancelled, nothing sent — the dead process cannot say goodbye)
+  // and the address is withdrawn from routing. Remote peers discover the
+  // loss via RST once the address returns, or retransmit-timeout
+  // exhaustion while it is gone. rejoin_vnode restores routing; the
+  // application layer re-starts its process on top.
+
+  bool vnode_online(std::size_t i) const { return vnode_online_.at(i); }
+  void crash_vnode(std::size_t i);
+  void rejoin_vnode(std::size_t i);
+
+  // -- link faults --------------------------------------------------------
+  //
+  // All three helpers act on the vnode's two access pipes (both
+  // directions). Overrides compose: the emulated link always runs the
+  // topology's base parameters plus the currently applied offsets.
+
+  /// Flap the access link (administratively down: arriving segments drop).
+  void set_link_down(std::size_t i, bool down);
+  /// Add `extra` one-way latency on top of the topology's base latency.
+  void set_link_latency_offset(std::size_t i, Duration extra);
+  /// Override the link's Gilbert-Elliott bursty loss (default {} restores
+  /// the topology's configuration).
+  void set_link_burst_loss(std::size_t i, const ipfw::GilbertElliott& ge);
+  bool link_down(std::size_t i) const;
+
+  /// The Dummynet pipes emulating vnode i's access link.
+  struct AccessPipes {
+    std::size_t pnode = 0;
+    ipfw::PipeId up = ipfw::kNoPipe;
+    ipfw::PipeId down = ipfw::kNoPipe;
+  };
+  const AccessPipes& access_pipes(std::size_t i) const {
+    return access_pipes_.at(i);
+  }
+
   /// ICMP-echo-like probe: round-trip time of a `size`-byte packet through
   /// the full emulated path, both ways. The callback fires on reply.
   void ping(Ipv4Addr src, Ipv4Addr dst, std::function<void(Duration)> on_rtt,
@@ -90,6 +130,16 @@ class Platform {
   void build_cluster();
   void deploy_vnodes();
   void compile_rules();
+  void apply_link_config(std::size_t i);
+
+  /// Per-vnode link-fault overlay on top of the topology's base pipe
+  /// configuration (set_link_* recompute base + overlay so faults compose
+  /// and restore cleanly).
+  struct LinkFaults {
+    Duration extra_latency = Duration::zero();
+    bool burst_overridden = false;
+    ipfw::GilbertElliott burst;
+  };
 
   topology::Topology topo_;
   PlatformConfig config_;
@@ -100,6 +150,9 @@ class Platform {
   std::vector<std::unique_ptr<vnode::VirtualNode>> vnodes_;
   std::vector<std::unique_ptr<vnode::Process>> processes_;
   std::vector<std::unique_ptr<sockets::SocketApi>> apis_;
+  std::vector<AccessPipes> access_pipes_;
+  std::vector<LinkFaults> link_faults_;
+  std::vector<bool> vnode_online_;
   std::uint64_t ping_flow_ = 0;
 };
 

@@ -1,0 +1,131 @@
+#include "fault/injector.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "metrics/recorder.hpp"
+
+namespace p2plab::fault {
+
+FaultInjector::FaultInjector(core::Platform& platform, FaultPlan plan,
+                             InjectorConfig config)
+    : platform_(platform), plan_(std::move(plan)), config_(config) {
+  plan_.sort();
+}
+
+void FaultInjector::bind_metrics(metrics::Registry& reg) {
+  metrics_.injected = reg.counter("fault.injected");
+  metrics_.recovered = reg.counter("fault.recovered");
+  metrics_.active = reg.gauge("fault.active");
+}
+
+void FaultInjector::arm() {
+  P2PLAB_ASSERT_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  sim::Simulation& sim = platform_.sim();
+  std::uint64_t next_id = 0;
+  for (const FaultSpec& spec : plan_.specs()) {
+    const std::uint64_t id = next_id++;
+    const SimTime at = spec.at < sim.now() ? sim.now() : spec.at;
+    sim.schedule_at(at, [this, spec, id] { inject(spec, id); });
+  }
+}
+
+void FaultInjector::mark_injected(const FaultSpec& spec, std::uint64_t id) {
+  ++stats_.injected;
+  metrics_.injected.inc();
+  metrics_.active.set(static_cast<double>(stats_.unrecovered()));
+  P2PLAB_TRACE(platform_.sim().now(), "fault", "fault_injected",
+               {{"id", id},
+                {"type", fault_kind_name(spec.kind)},
+                {"node", spec.node}});
+}
+
+void FaultInjector::mark_recovered(const FaultSpec& spec, std::uint64_t id) {
+  ++stats_.recovered;
+  metrics_.recovered.inc();
+  metrics_.active.set(static_cast<double>(stats_.unrecovered()));
+  P2PLAB_TRACE(platform_.sim().now(), "fault", "fault_recovered",
+               {{"id", id},
+                {"type", fault_kind_name(spec.kind)},
+                {"node", spec.node}});
+}
+
+void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
+  sim::Simulation& sim = platform_.sim();
+  mark_injected(spec, id);
+
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      // Infrastructure dies first (sockets aborted silently, address
+      // detached), then the application forgets its session state; with
+      // the sockets already closed, nothing the hook does can leak onto
+      // the wire.
+      platform_.crash_vnode(spec.node);
+      if (node_hooks_.on_crash) node_hooks_.on_crash(spec.node);
+      if (spec.rejoin) {
+        sim.schedule_after(spec.duration, [this, spec, id] {
+          platform_.rejoin_vnode(spec.node);
+          if (node_hooks_.on_rejoin) node_hooks_.on_rejoin(spec.node);
+          mark_recovered(spec, id);
+        });
+      } else {
+        // Permanent departure: the teardown itself is the recovery — the
+        // platform is in its intended post-fault state right away.
+        mark_recovered(spec, id);
+      }
+      break;
+
+    case FaultKind::kLeave:
+      if (node_hooks_.on_leave) node_hooks_.on_leave(spec.node);
+      // The grace period lets the farewell traffic (stopped announce,
+      // FINs) drain before the address disappears.
+      sim.schedule_after(config_.leave_grace, [this, spec, id] {
+        platform_.crash_vnode(spec.node);
+        mark_recovered(spec, id);
+      });
+      break;
+
+    case FaultKind::kLinkDown:
+      platform_.set_link_down(spec.node, true);
+      sim.schedule_after(spec.duration, [this, spec, id] {
+        platform_.set_link_down(spec.node, false);
+        mark_recovered(spec, id);
+      });
+      break;
+
+    case FaultKind::kLatencySpike:
+      platform_.set_link_latency_offset(spec.node, spec.extra_latency);
+      sim.schedule_after(spec.duration, [this, spec, id] {
+        platform_.set_link_latency_offset(spec.node, Duration::zero());
+        mark_recovered(spec, id);
+      });
+      break;
+
+    case FaultKind::kBurstLoss:
+      platform_.set_link_burst_loss(spec.node, spec.burst);
+      sim.schedule_after(spec.duration, [this, spec, id] {
+        // An empty model restores the topology's own configuration.
+        platform_.set_link_burst_loss(spec.node, ipfw::GilbertElliott{});
+        mark_recovered(spec, id);
+      });
+      break;
+
+    case FaultKind::kTrackerOutage:
+      // Overlapping outage windows refcount: the tracker restores when the
+      // last window closes.
+      if (++tracker_outages_ == 1 && service_hooks_.on_tracker_outage) {
+        service_hooks_.on_tracker_outage();
+      }
+      sim.schedule_after(spec.duration, [this, spec, id] {
+        if (--tracker_outages_ == 0 && service_hooks_.on_tracker_restore) {
+          service_hooks_.on_tracker_restore();
+        }
+        mark_recovered(spec, id);
+      });
+      break;
+  }
+}
+
+}  // namespace p2plab::fault

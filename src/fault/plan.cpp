@@ -1,0 +1,279 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace p2plab::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kBurstLoss: return "burst_loss";
+    case FaultKind::kTrackerOutage: return "tracker_outage";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::crash(std::size_t node, SimTime at) {
+  specs_.push_back({.kind = FaultKind::kCrash, .node = node, .at = at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_and_rejoin(std::size_t node, SimTime at,
+                                       Duration after) {
+  specs_.push_back({.kind = FaultKind::kCrash, .node = node, .at = at,
+                    .duration = after, .rejoin = true});
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave(std::size_t node, SimTime at) {
+  specs_.push_back({.kind = FaultKind::kLeave, .node = node, .at = at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(std::size_t node, SimTime at,
+                                Duration window) {
+  specs_.push_back({.kind = FaultKind::kLinkDown, .node = node, .at = at,
+                    .duration = window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_spike(std::size_t node, SimTime at,
+                                    Duration extra, Duration window) {
+  specs_.push_back({.kind = FaultKind::kLatencySpike, .node = node, .at = at,
+                    .duration = window, .extra_latency = extra});
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(std::size_t node, SimTime at,
+                                 Duration window,
+                                 const ipfw::GilbertElliott& ge) {
+  specs_.push_back({.kind = FaultKind::kBurstLoss, .node = node, .at = at,
+                    .duration = window, .burst = ge});
+  return *this;
+}
+
+FaultPlan& FaultPlan::tracker_outage(SimTime at, Duration window) {
+  specs_.push_back({.kind = FaultKind::kTrackerOutage, .at = at,
+                    .duration = window});
+  return *this;
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(specs_.begin(), specs_.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::churn(const ChurnConfig& config, Rng& rng) {
+  FaultPlan plan;
+  P2PLAB_ASSERT(config.first_node <= config.last_node);
+  P2PLAB_ASSERT(config.window_end >= config.window_start);
+  const std::size_t population = config.last_node - config.first_node + 1;
+  const auto victims_wanted = static_cast<std::size_t>(
+      static_cast<double>(population) * config.fraction);
+
+  // Choose distinct victims by shuffling the population and taking a
+  // prefix; every draw below comes from `rng` in a fixed order, so the
+  // schedule is a pure function of (config, rng state).
+  std::vector<std::size_t> nodes(population);
+  for (std::size_t k = 0; k < population; ++k) {
+    nodes[k] = config.first_node + k;
+  }
+  rng.shuffle(nodes);
+  nodes.resize(victims_wanted);
+
+  const double window_ns = static_cast<double>(
+      (config.window_end - config.window_start).count_ns());
+  for (const std::size_t node : nodes) {
+    const SimTime at =
+        config.window_start +
+        Duration::ns(static_cast<std::int64_t>(rng.uniform01() * window_ns));
+    if (rng.chance(config.leave_fraction)) {
+      plan.leave(node, at);
+    } else if (rng.chance(config.rejoin_fraction)) {
+      const Duration down =
+          config.rejoin_min +
+          (config.rejoin_max - config.rejoin_min).scaled(rng.uniform01());
+      plan.crash_and_rejoin(node, at, down);
+    } else {
+      plan.crash(node, at);
+    }
+  }
+  plan.sort();
+  return plan;
+}
+
+namespace {
+
+// Scenario files are written in human units: bare numbers are *seconds*
+// (unlike the topology DSL, where bare numbers are milliseconds — link
+// latencies live at the millisecond scale, fault schedules at seconds).
+std::optional<Duration> parse_scenario_duration(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double to_seconds = 1.0;
+  std::string_view digits = text;
+  if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+    to_seconds = 1e-3;
+    digits.remove_suffix(2);
+  } else if (text.size() > 2 && text.substr(text.size() - 2) == "us") {
+    to_seconds = 1e-6;
+    digits.remove_suffix(2);
+  } else if (text.back() == 's') {
+    digits.remove_suffix(1);
+  }
+  if (digits.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string owned(digits);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || value < 0) return std::nullopt;
+  return Duration::seconds(value * to_seconds);
+}
+
+std::optional<double> parse_probability(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string owned(text);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || value < 0 || value > 1) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+PlanParseResult FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_number = 0;
+
+  auto fail = [&](const std::string& message) {
+    PlanParseResult result;
+    result.error = "line " + std::to_string(line_number) + ": " + message;
+    return result;
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    // Collect key=value attributes common to all directives.
+    std::map<std::string, std::string> attrs;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail("expected key=value, got '" + tokens[i] + "'");
+      }
+      attrs[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+    // Attribute readers consume their key so leftovers (typos like
+    // rejion=60, which would silently change the fault) are rejected below.
+    auto duration_attr = [&](const char* key) -> std::optional<Duration> {
+      const auto it = attrs.find(key);
+      if (it == attrs.end()) return std::nullopt;
+      const auto parsed = parse_scenario_duration(it->second);
+      attrs.erase(it);
+      return parsed;
+    };
+    auto probability_attr = [&](const char* key) -> std::optional<double> {
+      const auto it = attrs.find(key);
+      if (it == attrs.end()) return std::nullopt;
+      const auto parsed = parse_probability(it->second);
+      attrs.erase(it);
+      return parsed;
+    };
+    std::optional<std::size_t> node;
+    if (const auto it = attrs.find("node"); it != attrs.end()) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(it->second.c_str(), &end, 10);
+      if (end != it->second.c_str() + it->second.size()) {
+        return fail("bad node index '" + it->second + "'");
+      }
+      node = static_cast<std::size_t>(v);
+      attrs.erase(it);
+    }
+    const auto at = duration_attr("at");
+
+    if (directive == "crash") {
+      if (!node || !at) return fail("crash node=N at=T [rejoin=D]");
+      if (attrs.count("rejoin") != 0) {
+        const auto rejoin = duration_attr("rejoin");
+        if (!rejoin) return fail("bad rejoin delay");
+        plan.crash_and_rejoin(*node, SimTime::zero() + *at, *rejoin);
+      } else {
+        plan.crash(*node, SimTime::zero() + *at);
+      }
+    } else if (directive == "leave") {
+      if (!node || !at) return fail("leave node=N at=T");
+      plan.leave(*node, SimTime::zero() + *at);
+    } else if (directive == "linkdown") {
+      const auto window = duration_attr("for");
+      if (!node || !at || !window) return fail("linkdown node=N at=T for=D");
+      plan.link_down(*node, SimTime::zero() + *at, *window);
+    } else if (directive == "spike") {
+      const auto extra = duration_attr("add");
+      const auto window = duration_attr("for");
+      if (!node || !at || !extra || !window) {
+        return fail("spike node=N at=T add=D for=D");
+      }
+      plan.latency_spike(*node, SimTime::zero() + *at, *extra, *window);
+    } else if (directive == "burstloss") {
+      const auto window = duration_attr("for");
+      const auto pgb = probability_attr("pgb");
+      const auto pbg = probability_attr("pbg");
+      if (!node || !at || !window || !pgb || !pbg || *pbg <= 0) {
+        return fail("burstloss node=N at=T for=D pgb=P pbg=P"
+                    " [lossbad=P] [lossgood=P]");
+      }
+      ipfw::GilbertElliott ge{.p_good_to_bad = *pgb, .p_bad_to_good = *pbg};
+      if (attrs.count("lossbad") != 0) {
+        const auto p = probability_attr("lossbad");
+        if (!p) return fail("bad lossbad");
+        ge.loss_bad = *p;
+      }
+      if (attrs.count("lossgood") != 0) {
+        const auto p = probability_attr("lossgood");
+        if (!p) return fail("bad lossgood");
+        ge.loss_good = *p;
+      }
+      plan.burst_loss(*node, SimTime::zero() + *at, *window, ge);
+    } else if (directive == "tracker_outage") {
+      const auto window = duration_attr("for");
+      if (!at || !window) return fail("tracker_outage at=T for=D");
+      plan.tracker_outage(SimTime::zero() + *at, *window);
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+    if (!attrs.empty()) {
+      return fail("unknown attribute '" + attrs.begin()->first + "'");
+    }
+  }
+
+  plan.sort();
+  PlanParseResult result;
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace p2plab::fault

@@ -14,6 +14,8 @@ PipeMetrics PipeMetrics::resolve(metrics::Registry& reg) {
   m.bytes_in = reg.counter("ipfw.pipe.bytes_in");
   m.bytes_out = reg.counter("ipfw.pipe.bytes_out");
   m.drops_loss = reg.counter("ipfw.pipe.drops_loss");
+  m.drops_burst = reg.counter("ipfw.pipe.drops_burst");
+  m.drops_down = reg.counter("ipfw.pipe.drops_down");
   m.drops_overflow = reg.counter("ipfw.pipe.drops_overflow");
   // Buckets up to the default 50-frame queue bound and beyond (custom
   // limits may exceed it).
@@ -35,11 +37,37 @@ void Pipe::enqueue(Segment seg) {
   metrics_.bytes_in.inc(seg.size.count_bytes());
   metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
 
+  if (down_) {
+    ++stats_.segments_dropped;
+    ++stats_.segments_dropped_down;
+    metrics_.drops_down.inc();
+    if (seg.on_drop) seg.on_drop();
+    return;
+  }
+
   if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
     ++stats_.segments_dropped;
     metrics_.drops_loss.inc();
     if (seg.on_drop) seg.on_drop();
     return;
+  }
+
+  if (config_.burst_loss.enabled()) {
+    // Advance the two-state chain once per arrival, then lose by state.
+    const GilbertElliott& ge = config_.burst_loss;
+    if (burst_bad_) {
+      if (rng_.chance(ge.p_bad_to_good)) burst_bad_ = false;
+    } else {
+      if (rng_.chance(ge.p_good_to_bad)) burst_bad_ = true;
+    }
+    const double p = burst_bad_ ? ge.loss_bad : ge.loss_good;
+    if (p > 0.0 && rng_.chance(p)) {
+      ++stats_.segments_dropped;
+      ++stats_.segments_dropped_burst;
+      metrics_.drops_burst.inc();
+      if (seg.on_drop) seg.on_drop();
+      return;
+    }
   }
 
   // Pure delay element: no queueing, no serialization.

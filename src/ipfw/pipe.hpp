@@ -29,10 +29,29 @@ namespace p2plab::ipfw {
 
 using FlowId = std::uint64_t;
 
+/// Gilbert-Elliott two-state bursty-loss model. The chain advances one step
+/// per arriving segment: in the good state segments are lost with
+/// `loss_good`, in the bad state with `loss_bad`, and the state flips with
+/// the configured transition probabilities. Expected burst length is
+/// 1/p_bad_to_good segments; the stationary bad-state share is
+/// p_good_to_bad / (p_good_to_bad + p_bad_to_good). Disabled (both
+/// transition probabilities zero) it costs nothing beyond the enable check.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.0;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+  bool enabled() const { return p_good_to_bad > 0.0 || p_bad_to_good > 0.0; }
+};
+
 struct PipeConfig {
   Bandwidth bandwidth = Bandwidth::unlimited();  // 0 = pure delay element
   Duration delay = Duration::zero();
   double loss_rate = 0.0;  // applied at enqueue, like Dummynet's plr
+  /// Bursty loss applied at enqueue in addition to the uniform loss_rate
+  /// (either may be zero; real links show both a background rate and
+  /// correlated outbursts).
+  GilbertElliott burst_loss;
   /// Queue bound in bytes (Dummynet defaults to 50 slots; 50 full-size
   /// Ethernet frames is the equivalent here).
   DataSize queue_limit = DataSize::bytes(50 * 1500);
@@ -42,7 +61,9 @@ struct PipeConfig {
 struct PipeStats {
   std::uint64_t segments_in = 0;
   std::uint64_t segments_out = 0;
-  std::uint64_t segments_dropped = 0;  // queue overflow + random loss
+  std::uint64_t segments_dropped = 0;  // queue overflow + any loss + down
+  std::uint64_t segments_dropped_burst = 0;  // Gilbert-Elliott share
+  std::uint64_t segments_dropped_down = 0;   // administratively down share
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t max_queue_bytes = 0;
@@ -58,6 +79,8 @@ struct PipeMetrics {
   metrics::Counter bytes_in;
   metrics::Counter bytes_out;
   metrics::Counter drops_loss;      // random loss (plr)
+  metrics::Counter drops_burst;     // Gilbert-Elliott bad-state loss
+  metrics::Counter drops_down;      // link administratively down (fault)
   metrics::Counter drops_overflow;  // bounded-queue overflow
   metrics::Histogram queue_bytes;   // occupancy sampled at enqueue
 
@@ -89,7 +112,14 @@ class Pipe {
 
   /// Reconfigure bandwidth/delay/loss in place (ipfw pipe N config ...).
   /// Queued segments keep draining at the new rate from the next service.
+  /// The Gilbert-Elliott chain state survives reconfiguration.
   void reconfigure(const PipeConfig& config) { config_ = config; }
+
+  /// Administratively down: every arriving segment is dropped, as on a
+  /// flapped interface. Queued segments keep draining (they are already
+  /// "on the wire"). Fault injection toggles this.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
 
   /// Point this pipe's instrumentation at resolved registry cells.
   void bind_metrics(const PipeMetrics& metrics) { metrics_ = metrics; }
@@ -113,6 +143,8 @@ class Pipe {
   PipeMetrics metrics_;
 
   bool busy_ = false;
+  bool down_ = false;
+  bool burst_bad_ = false;  // Gilbert-Elliott chain state
   std::uint64_t queued_bytes_ = 0;
 
   // DRR state: per-flow queues plus an active ring in service order.

@@ -1,6 +1,8 @@
 #include "metrics/recorder.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "common/assert.hpp"
 
@@ -112,6 +114,8 @@ void FlightRecorder::flush(std::FILE* out) const {
 bool FlightRecorder::flush_to_results(const char* filename) const {
   const char* dir = std::getenv("P2PLAB_RESULTS_DIR");
   if (dir == nullptr) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; fopen decides
   const std::string path = std::string(dir) + "/" + filename;
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) return false;

@@ -45,6 +45,14 @@ void Network::register_address(Ipv4Addr addr, Host* host) {
   (void)it;
 }
 
+bool Network::detach_address(Ipv4Addr addr) {
+  return by_address_.erase(addr.to_u32()) > 0;
+}
+
+void Network::reattach_address(Ipv4Addr addr, Host& host) {
+  register_address(addr, &host);
+}
+
 void Network::send(Packet packet) {
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.wire_size.count_bytes();
@@ -53,7 +61,14 @@ void Network::send(Packet packet) {
   packet.sent_at = sim_.now();
 
   Host* src = host_of(packet.src);
-  P2PLAB_ASSERT_MSG(src != nullptr, "packet sent from unknown address");
+  if (src == nullptr) {
+    // Source address detached (crashed vnode with a send still queued, a
+    // departed node's retransmission): the packet dies at the NIC instead
+    // of wedging the run on an assertion.
+    ++stats_.packets_unroutable;
+    metrics_.packets_unroutable.inc();
+    return;
+  }
   if (host_of(packet.dst) == nullptr) {
     ++stats_.packets_unroutable;
     metrics_.packets_unroutable.inc();

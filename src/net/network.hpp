@@ -83,6 +83,14 @@ class Network {
   /// The host owning `addr` (admin address or alias); nullptr if none.
   Host* host_of(Ipv4Addr addr);
 
+  /// Withdraw an address from routing (vnode crash / graceful departure):
+  /// packets to it become unroutable and packets from it are dropped at the
+  /// source, until reattach_address restores it. Returns false if the
+  /// address was not registered.
+  bool detach_address(Ipv4Addr addr);
+  /// Restore a previously detached alias of `host` (vnode rejoin).
+  void reattach_address(Ipv4Addr addr, Host& host);
+
   /// Send a packet through the emulated path. The packet's on_deliver runs
   /// at the destination; dropped packets vanish (transports recover via
   /// timeout, exactly like the real platform).

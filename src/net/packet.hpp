@@ -26,6 +26,7 @@ enum class PacketKind : std::uint8_t {
   kData,
   kAck,
   kFin,
+  kRst,  // no endpoint at the destination port (ECONNRESET/ECONNREFUSED)
 };
 
 struct Packet {

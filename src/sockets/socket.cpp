@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -22,6 +23,9 @@ void SocketManager::bind_metrics(metrics::Registry& reg) {
   metrics_.accepts = reg.counter("sockets.accepts");
   metrics_.closes = reg.counter("sockets.closes");
   metrics_.aborts = reg.counter("sockets.aborts");
+  metrics_.resets = reg.counter("sockets.resets");
+  metrics_.rsts_sent = reg.counter("sockets.rsts_sent");
+  metrics_.crash_aborts = reg.counter("sockets.crash_aborts");
   metrics_.msgs_sent = reg.counter("sockets.msgs_sent");
   metrics_.msgs_received = reg.counter("sockets.msgs_received");
   metrics_.bytes_sent = reg.counter("sockets.bytes_sent");
@@ -72,11 +76,47 @@ void SocketManager::dispatch(net::Packet&& packet) {
                           : Proto::kTcp;
   Endpoint* endpoint = endpoint_at(packet.dst, packet.dst_port, proto);
   if (endpoint == nullptr) {
-    // Connection torn down while the packet was in flight; like a RST-less
-    // drop, the peer recovers via timeout or FIN.
+    // No socket at this port: answer stream segments with RST, like a real
+    // stack (closed port -> ECONNREFUSED, vanished connection ->
+    // ECONNRESET). Never answer a RST (no loops) or a datagram (UDP has no
+    // reset; what the pipes drop stays dropped).
+    if (proto == Proto::kTcp && packet.kind != net::PacketKind::kRst) {
+      send_rst(packet);
+    }
     return;
   }
   endpoint->handle_packet(std::move(packet));
+}
+
+void SocketManager::send_rst(const net::Packet& original) {
+  metrics_.rsts_sent.inc();
+  net::Packet rst;
+  rst.src = original.dst;
+  rst.dst = original.src;
+  rst.src_port = original.dst_port;
+  rst.dst_port = original.src_port;
+  rst.wire_size = DataSize::bytes(kHeaderBytes);
+  // Ride the control flow of the dead connection (see send_control).
+  rst.flow = original.conn | (std::uint64_t{1} << 63);
+  rst.kind = net::PacketKind::kRst;
+  rst.conn = original.conn;
+  rst.on_deliver = [this](net::Packet&& p) { dispatch(std::move(p)); };
+  network_.send(std::move(rst));
+}
+
+void SocketManager::abort_endpoints_of(Ipv4Addr addr) {
+  // Aborting unbinds (mutating endpoints_); collect the victims first.
+  std::vector<Endpoint*> victims;
+  for (const auto& [k, endpoint] : endpoints_) {
+    // key layout: address in the high bits (see key()).
+    if (static_cast<std::uint32_t>(k >> 17) == addr.to_u32()) {
+      victims.push_back(endpoint);
+    }
+  }
+  for (Endpoint* endpoint : victims) {
+    metrics_.crash_aborts.inc();
+    endpoint->abort_for_crash();
+  }
 }
 
 // ----------------------------------------------------------------- socket
@@ -147,11 +187,29 @@ void StreamSocket::close() {
   teardown();
 }
 
+void StreamSocket::abort_for_crash() {
+  // The owner crashed: release everything silently. on_close_ must not
+  // fire (there is no process left to observe it) and nothing goes on the
+  // wire.
+  if (state_ == State::kClosed) return;
+  on_message_ = nullptr;
+  on_close_ = nullptr;
+  on_writable_ = nullptr;
+  on_connected_ = nullptr;
+  on_connect_fail_ = nullptr;
+  teardown();
+}
+
 void StreamSocket::teardown() {
   // Moving the self-reference out may make `this` expire at scope end —
   // after every member access below.
   StreamSocketPtr keep = std::move(self_ref_);
   state_ = State::kClosed;
+  if (timer_armed_) {
+    mgr_.sim().cancel(timer_event_);
+    timer_armed_ = false;
+    timer_event_ = sim::EventId{};
+  }
   pending_.clear();
   pending_bytes_ = 0;
   inflight_.clear();
@@ -301,6 +359,29 @@ void StreamSocket::handle_packet(net::Packet&& packet) {
       }
       break;
     }
+    case net::PacketKind::kRst: {
+      // Guard against stale resets addressed to a previous connection that
+      // held this (addr, port) pair.
+      if (packet.conn != conn_id_) break;
+      if (state_ == State::kSynSent) {
+        // ECONNREFUSED: no listener at the remote port.
+        mgr_.metrics().connects_failed.inc();
+        auto fail = std::move(on_connect_fail_);
+        on_connected_ = nullptr;
+        teardown();
+        if (fail) fail();
+        break;
+      }
+      // ECONNRESET: the remote end is gone; surface it to the owner
+      // immediately instead of grinding through RTO exhaustion.
+      mgr_.metrics().resets.inc();
+      teardown();
+      if (on_close_) {
+        auto handler = on_close_;
+        handler();
+      }
+      break;
+    }
     case net::PacketKind::kSyn:
     case net::PacketKind::kDatagram:
       break;  // not meaningful on an established socket
@@ -433,14 +514,19 @@ void StreamSocket::arm_timer(SimTime due) {
   // segment was sent long ago); fire on the next tick instead.
   due = std::max(due, mgr_.sim().now());
   if (timer_armed_ && armed_until_ <= due) return;
+  // Arming earlier supersedes the pending event; cancel it instead of
+  // leaving a dead entry in the kernel heap (stale fires are still caught
+  // via armed_until_ in case the cancel scan missed).
+  if (timer_armed_) mgr_.sim().cancel(timer_event_);
   timer_armed_ = true;
   armed_until_ = due;
   std::weak_ptr<StreamSocket> weak = weak_from_this();
-  mgr_.sim().schedule_at(due, [weak, due] {
+  timer_event_ = mgr_.sim().schedule_at(due, [weak, due] {
     auto self = weak.lock();
     if (!self) return;
     if (!self->timer_armed_ || self->armed_until_ != due) return;  // stale
     self->timer_armed_ = false;
+    self->timer_event_ = sim::EventId{};
     self->timer_fired();
   });
 }
@@ -509,7 +595,25 @@ Listener::Listener(SocketManager& mgr, net::Host& host, Ipv4Addr ip,
   mgr_.bind_endpoint(local_ip_, local_port_, this);
 }
 
-Listener::~Listener() { mgr_.unbind_endpoint(local_ip_, local_port_); }
+Listener::~Listener() {
+  if (bound_) mgr_.unbind_endpoint(local_ip_, local_port_);
+}
+
+void Listener::abort_for_crash() {
+  // Abort accepted connections first (they demux through us, not through
+  // the manager's port table), then release the port. The unbind must not
+  // run again from the destructor: by then a rejoined process may have
+  // bound a fresh listener to the same (addr, port).
+  accepting_ = false;
+  on_accept_ = nullptr;
+  auto conns = std::move(conns_);
+  conns_.clear();
+  for (auto& [key, socket] : conns) socket->abort_for_crash();
+  if (bound_) {
+    mgr_.unbind_endpoint(local_ip_, local_port_);
+    bound_ = false;
+  }
+}
 
 void Listener::handle_packet(net::Packet&& packet) {
   const std::uint64_t key = conn_key(packet.src, packet.src_port);

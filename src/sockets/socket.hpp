@@ -67,6 +67,9 @@ struct SocketMetrics {
   metrics::Counter accepts;
   metrics::Counter closes;  // orderly close() / received FIN
   metrics::Counter aborts;  // retransmit timeouts exhausted (ETIMEDOUT)
+  metrics::Counter resets;      // RST received (ECONNRESET/ECONNREFUSED)
+  metrics::Counter rsts_sent;   // RSTs emitted for endpoint-less segments
+  metrics::Counter crash_aborts;  // endpoints torn down by a vnode crash
   metrics::Counter msgs_sent;
   metrics::Counter msgs_received;
   metrics::Counter bytes_sent;
@@ -82,6 +85,11 @@ class SocketManager {
    public:
     virtual ~Endpoint() = default;
     virtual void handle_packet(net::Packet&& packet) = 0;
+    /// The owning process died (vnode crash): release transport state and
+    /// timers immediately and silently — no FIN, no local callbacks; the
+    /// dead process cannot observe anything. Remote ends discover the loss
+    /// via RST (if the address returns) or retransmit-timeout exhaustion.
+    virtual void abort_for_crash() = 0;
   };
 
   SocketManager(net::Network& network, vnode::Interceptor interceptor = {},
@@ -108,12 +116,20 @@ class SocketManager {
   /// Deliver handler installed on every packet the socket layer sends.
   void dispatch(net::Packet&& packet);
 
+  /// Abort every endpoint bound at `addr` (all ports, both protocols) —
+  /// the socket-table sweep of a vnode crash. Safe against endpoints
+  /// unbinding themselves mid-sweep.
+  void abort_endpoints_of(Ipv4Addr addr);
+
   /// Resolve "sockets.*" handles from `reg` (affects all sockets of this
   /// manager, existing and future — the handles are read through here).
   void bind_metrics(metrics::Registry& reg);
   const SocketMetrics& metrics() const { return metrics_; }
 
  private:
+  /// Reply to an endpoint-less stream segment with a reset.
+  void send_rst(const net::Packet& original);
+
   static std::uint64_t key(Ipv4Addr addr, std::uint16_t port, Proto proto) {
     return (std::uint64_t{addr.to_u32()} << 17) |
            (std::uint64_t{port} << 1) | static_cast<std::uint64_t>(proto);
@@ -171,6 +187,7 @@ class StreamSocket final : public SocketManager::Endpoint,
   Duration srtt() const { return Duration::seconds(srtt_s_); }
 
   void handle_packet(net::Packet&& packet) override;
+  void abort_for_crash() override;
 
  private:
   friend class SocketApi;
@@ -243,9 +260,14 @@ class StreamSocket final : public SocketManager::Endpoint,
   int backoff_ = 0;  // exponent applied to rto on consecutive timeouts
   int consecutive_timeouts_ = 0;  // RTOs since the last acked progress
 
-  // Timer (never cancelled; stale fires are ignored via armed_until_).
+  // Retransmission timer. The pending event is tracked by id and cancelled
+  // on teardown and when re-armed earlier: a churning swarm aborts
+  // thousands of sockets whose RTO events (up to max_rto out) would
+  // otherwise sit dead in the kernel heap. Stale fires are additionally
+  // ignored via armed_until_.
   bool timer_armed_ = false;
   SimTime armed_until_;
+  sim::EventId timer_event_;
   /// Time of the last cumulative-ack progress. The transport network is
   /// per-flow FIFO, so as long as acks arrive the window is draining and a
   /// retransmission would be spurious; the RTO counts from the *later* of
@@ -287,6 +309,7 @@ class Listener final : public SocketManager::Endpoint,
   void stop_accepting() { accepting_ = false; }
 
   void handle_packet(net::Packet&& packet) override;
+  void abort_for_crash() override;
 
  private:
   friend class SocketApi;
@@ -302,6 +325,7 @@ class Listener final : public SocketManager::Endpoint,
   Ipv4Addr local_ip_;
   std::uint16_t local_port_;
   bool accepting_ = true;
+  bool bound_ = true;  // false once abort_for_crash unbound the port
   AcceptHandler on_accept_;
   std::unordered_map<std::uint64_t, StreamSocketPtr> conns_;
 };
@@ -329,6 +353,7 @@ class DatagramSocket final
   std::uint64_t datagrams_received() const { return received_; }
 
   void handle_packet(net::Packet&& packet) override;
+  void abort_for_crash() override { close(); }
 
  private:
   friend class SocketApi;

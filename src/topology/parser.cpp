@@ -156,6 +156,30 @@ ParseResult parse_topology(std::string_view text) {
           const auto p = parse_number(*v5);
           if (!p || *p < 0 || *p > 1) return fail("bad loss rate");
           link.loss_rate = *p;
+        } else if (const auto v6 = value_of(tokens[i], "burst")) {
+          // burst=p_good_bad:p_bad_good[:loss_bad] (Gilbert-Elliott).
+          const std::string spec(*v6);
+          const auto first = spec.find(':');
+          if (first == std::string::npos) {
+            return fail("burst=p_good_bad:p_bad_good[:loss_bad]");
+          }
+          const auto second = spec.find(':', first + 1);
+          const auto pgb = parse_number(spec.substr(0, first));
+          const auto pbg = parse_number(
+              second == std::string::npos
+                  ? spec.substr(first + 1)
+                  : spec.substr(first + 1, second - first - 1));
+          std::optional<double> lb = 1.0;
+          if (second != std::string::npos) {
+            lb = parse_number(spec.substr(second + 1));
+          }
+          if (!pgb || !pbg || !lb || *pgb < 0 || *pgb > 1 || *pbg <= 0 ||
+              *pbg > 1 || *lb < 0 || *lb > 1) {
+            return fail("bad burst parameters");
+          }
+          link.burst_p_good_bad = *pgb;
+          link.burst_p_bad_good = *pbg;
+          link.burst_loss_bad = *lb;
         } else {
           return fail("unknown attribute '" + tokens[i] + "'");
         }

@@ -25,6 +25,12 @@ struct LinkClass {
   Bandwidth up = Bandwidth::kbps(128);
   Duration latency = Duration::ms(30);
   double loss_rate = 0.0;
+  /// Gilbert-Elliott bursty loss on the access link (zero transition
+  /// probabilities = disabled). Kept as plain numbers so the topology layer
+  /// stays independent of ipfw; Platform maps them onto the pipes.
+  double burst_p_good_bad = 0.0;
+  double burst_p_bad_good = 0.0;
+  double burst_loss_bad = 1.0;
 };
 
 /// The paper's experimental DSL profile: 2 Mb/s down, 128 kb/s up, 30 ms.

@@ -1,0 +1,248 @@
+// FaultInjector: platform-level fault execution, hook ordering, trace
+// pairing (every fault_injected has a matching fault_recovered), and
+// bit-identical replay of a plan under the same seed.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "fault/plan.hpp"
+#include "metrics/recorder.hpp"
+#include "metrics/registry.hpp"
+
+namespace p2plab::fault {
+namespace {
+
+SimTime at_sec(double s) { return SimTime::zero() + Duration::seconds(s); }
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest()
+      : platform(topology::homogeneous_dsl(6),
+                 core::PlatformConfig{.physical_nodes = 2}) {}
+
+  void run_until(double sec) { platform.sim().run_until(at_sec(sec)); }
+
+  ipfw::Pipe& up_pipe(std::size_t vnode) {
+    return platform.host_of_vnode(vnode).firewall().pipe(
+        platform.access_pipes(vnode).up);
+  }
+  ipfw::Pipe& down_pipe(std::size_t vnode) {
+    return platform.host_of_vnode(vnode).firewall().pipe(
+        platform.access_pipes(vnode).down);
+  }
+
+  core::Platform platform;
+  std::vector<std::string> hook_log;
+};
+
+TEST_F(InjectorTest, CrashWithRejoinDrivesHooksAndPairsRecovery) {
+  FaultPlan plan;
+  plan.crash_and_rejoin(2, at_sec(10), Duration::sec(30));
+  FaultInjector injector(platform, plan);
+  injector.set_node_hooks(NodeHooks{
+      .on_crash = [&](std::size_t v) {
+        hook_log.push_back("crash:" + std::to_string(v));
+      },
+      .on_leave = nullptr,
+      .on_rejoin = [&](std::size_t v) {
+        hook_log.push_back("rejoin:" + std::to_string(v));
+      }});
+  injector.arm();
+
+  run_until(5);
+  EXPECT_TRUE(platform.vnode_online(2));
+  EXPECT_EQ(injector.stats().injected, 0u);
+
+  run_until(15);
+  EXPECT_FALSE(platform.vnode_online(2));
+  EXPECT_EQ(injector.stats().injected, 1u);
+  EXPECT_EQ(injector.stats().unrecovered(), 1u);
+
+  run_until(50);
+  EXPECT_TRUE(platform.vnode_online(2));
+  EXPECT_EQ(injector.stats().recovered, 1u);
+  EXPECT_EQ(injector.stats().unrecovered(), 0u);
+  EXPECT_EQ(hook_log,
+            (std::vector<std::string>{"crash:2", "rejoin:2"}));
+}
+
+TEST_F(InjectorTest, PermanentCrashRecoversAtTeardown) {
+  // "Recovered" means the emulator reached the intended post-fault state;
+  // for a permanent departure that is the completed teardown itself.
+  FaultPlan plan;
+  plan.crash(3, at_sec(10));
+  FaultInjector injector(platform, plan);
+  injector.arm();
+  run_until(20);
+  EXPECT_FALSE(platform.vnode_online(3));
+  EXPECT_EQ(injector.stats().injected, 1u);
+  EXPECT_EQ(injector.stats().unrecovered(), 0u);
+  run_until(100);
+  EXPECT_FALSE(platform.vnode_online(3));  // never comes back
+}
+
+TEST_F(InjectorTest, LeaveGivesGraceBeforeDetaching) {
+  FaultPlan plan;
+  plan.leave(1, at_sec(10));
+  FaultInjector injector(platform, plan,
+                         InjectorConfig{.leave_grace = Duration::sec(2)});
+  injector.set_node_hooks(NodeHooks{
+      .on_crash = nullptr,
+      .on_leave = [&](std::size_t v) {
+        // The process says goodbye while its address still works.
+        EXPECT_TRUE(platform.vnode_online(v));
+        hook_log.push_back("leave:" + std::to_string(v));
+      },
+      .on_rejoin = nullptr});
+  injector.arm();
+  run_until(11);
+  EXPECT_EQ(hook_log, (std::vector<std::string>{"leave:1"}));
+  EXPECT_TRUE(platform.vnode_online(1));  // grace period
+  EXPECT_EQ(injector.stats().unrecovered(), 1u);
+  run_until(13);
+  EXPECT_FALSE(platform.vnode_online(1));
+  EXPECT_EQ(injector.stats().unrecovered(), 0u);
+}
+
+TEST_F(InjectorTest, LinkDownWindowSetsAndRestoresBothPipes) {
+  FaultPlan plan;
+  plan.link_down(2, at_sec(10), Duration::sec(5));
+  FaultInjector injector(platform, plan);
+  injector.arm();
+  run_until(5);
+  EXPECT_FALSE(up_pipe(2).is_down());
+  EXPECT_FALSE(down_pipe(2).is_down());
+  run_until(12);
+  EXPECT_TRUE(up_pipe(2).is_down());
+  EXPECT_TRUE(down_pipe(2).is_down());
+  EXPECT_TRUE(platform.link_down(2));
+  run_until(16);
+  EXPECT_FALSE(up_pipe(2).is_down());
+  EXPECT_FALSE(down_pipe(2).is_down());
+  EXPECT_EQ(injector.stats().recovered, 1u);
+}
+
+TEST_F(InjectorTest, LatencySpikeAddsDelayThenRestoresBaseline) {
+  const Duration base = up_pipe(4).config().delay;
+  FaultPlan plan;
+  plan.latency_spike(4, at_sec(10), Duration::ms(200), Duration::sec(5));
+  FaultInjector injector(platform, plan);
+  injector.arm();
+  run_until(12);
+  EXPECT_EQ(up_pipe(4).config().delay, base + Duration::ms(200));
+  EXPECT_EQ(down_pipe(4).config().delay, base + Duration::ms(200));
+  run_until(16);
+  EXPECT_EQ(up_pipe(4).config().delay, base);
+  EXPECT_EQ(injector.stats().unrecovered(), 0u);
+}
+
+TEST_F(InjectorTest, BurstLossOverrideIsWindowed) {
+  ASSERT_FALSE(up_pipe(5).config().burst_loss.enabled());  // dsl default
+  FaultPlan plan;
+  plan.burst_loss(5, at_sec(10), Duration::sec(5),
+                  ipfw::GilbertElliott{.p_good_to_bad = 0.1,
+                                       .p_bad_to_good = 0.4,
+                                       .loss_bad = 0.8});
+  FaultInjector injector(platform, plan);
+  injector.arm();
+  run_until(12);
+  EXPECT_TRUE(up_pipe(5).config().burst_loss.enabled());
+  EXPECT_DOUBLE_EQ(up_pipe(5).config().burst_loss.p_good_to_bad, 0.1);
+  EXPECT_TRUE(down_pipe(5).config().burst_loss.enabled());
+  run_until(16);
+  EXPECT_FALSE(up_pipe(5).config().burst_loss.enabled());
+  EXPECT_EQ(injector.stats().recovered, 1u);
+}
+
+TEST_F(InjectorTest, OverlappingTrackerOutagesRefcount) {
+  FaultPlan plan;
+  plan.tracker_outage(at_sec(10), Duration::sec(20));  // [10, 30)
+  plan.tracker_outage(at_sec(15), Duration::sec(20));  // [15, 35)
+  std::size_t outages = 0, restores = 0;
+  FaultInjector injector(platform, plan);
+  injector.set_service_hooks(ServiceHooks{
+      .on_tracker_outage = [&] { ++outages; },
+      .on_tracker_restore = [&] { ++restores; }});
+  injector.arm();
+  run_until(20);
+  EXPECT_EQ(outages, 1u);  // second window does not re-kill the tracker
+  EXPECT_EQ(restores, 0u);
+  run_until(32);
+  EXPECT_EQ(restores, 0u);  // first window closed, second still open
+  run_until(40);
+  EXPECT_EQ(restores, 1u);
+  EXPECT_EQ(injector.stats().injected, 2u);
+  EXPECT_EQ(injector.stats().recovered, 2u);
+}
+
+TEST_F(InjectorTest, BindsMetricsRegistry) {
+  metrics::Registry registry;
+  FaultPlan plan;
+  plan.crash_and_rejoin(2, at_sec(10), Duration::sec(5))
+      .link_down(3, at_sec(12), Duration::sec(5));
+  FaultInjector injector(platform, plan);
+  injector.bind_metrics(registry);
+  injector.arm();
+  run_until(13);
+  EXPECT_EQ(registry.value("fault.injected"), 2.0);
+  EXPECT_EQ(registry.value("fault.active"), 2.0);
+  run_until(30);
+  EXPECT_EQ(registry.value("fault.recovered"), 2.0);
+  EXPECT_EQ(registry.value("fault.active"), 0.0);
+}
+
+/// Run a mixed plan against a fresh platform and return the full trace as
+/// a string (flushed through the recorder's JSONL writer).
+std::string trace_of_run() {
+  metrics::FlightRecorder recorder;
+  metrics::FlightRecorder::set_active(&recorder);
+  core::Platform platform(topology::homogeneous_dsl(6),
+                          core::PlatformConfig{.physical_nodes = 2});
+  FaultPlan plan;
+  plan.crash_and_rejoin(2, at_sec(10), Duration::sec(20))
+      .crash(3, at_sec(12))
+      .link_down(4, at_sec(15), Duration::sec(5))
+      .tracker_outage(at_sec(20), Duration::sec(10));
+  FaultInjector injector(platform, plan);
+  injector.arm();
+  platform.sim().run_until(at_sec(60));
+  metrics::FlightRecorder::set_active(nullptr);
+
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  recorder.flush(tmp);
+  std::string out;
+  std::rewind(tmp);
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, tmp)) > 0) out.append(buf, n);
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(InjectorTrace, SamePlanSameSeedYieldsBitIdenticalTrace) {
+  const std::string a = trace_of_run();
+  const std::string b = trace_of_run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // Pairing invariant, as CI checks it: equal numbers of injected and
+  // recovered events.
+  auto count = [&](std::string_view needle) {
+    std::size_t hits = 0, pos = 0;
+    while ((pos = a.find(needle, pos)) != std::string::npos) {
+      ++hits;
+      pos += needle.size();
+    }
+    return hits;
+  };
+  EXPECT_EQ(count("\"fault_injected\""), 4u);
+  EXPECT_EQ(count("\"fault_recovered\""), 4u);
+}
+
+}  // namespace
+}  // namespace p2plab::fault

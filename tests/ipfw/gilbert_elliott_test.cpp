@@ -1,0 +1,155 @@
+// Gilbert-Elliott bursty-loss model: burst statistics, determinism, and
+// the administratively-down fault switch.
+#include "ipfw/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2plab::ipfw {
+namespace {
+
+class GilbertElliottTest : public ::testing::Test {
+ protected:
+  /// Feed `n` zero-delay segments through `pipe` one sim-step at a time
+  /// and record, per segment, whether it was dropped.
+  std::vector<bool> run_segments(Pipe& pipe, int n) {
+    std::vector<bool> dropped;
+    dropped.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto index = dropped.size();
+      dropped.push_back(true);  // flipped back by on_exit
+      pipe.enqueue(Pipe::Segment{
+          .size = DataSize::bytes(1500),
+          .flow = 1,
+          .on_exit = [&dropped, index] { dropped[index] = false; },
+          .on_drop = nullptr});
+    }
+    sim.run();
+    return dropped;
+  }
+
+  static PipeConfig ge_config(double pgb, double pbg, double loss_bad,
+                              double loss_good = 0.0) {
+    return PipeConfig{
+        .bandwidth = Bandwidth::unlimited(),
+        .burst_loss = GilbertElliott{.p_good_to_bad = pgb,
+                                     .p_bad_to_good = pbg,
+                                     .loss_good = loss_good,
+                                     .loss_bad = loss_bad},
+        .queue_limit = DataSize::mib(64)};
+  }
+
+  sim::Simulation sim;
+};
+
+TEST_F(GilbertElliottTest, DisabledModelLosesNothing) {
+  Pipe pipe(sim, PipeConfig{.bandwidth = Bandwidth::unlimited()}, Rng{7});
+  const auto dropped = run_segments(pipe, 2000);
+  for (const bool d : dropped) EXPECT_FALSE(d);
+  EXPECT_EQ(pipe.stats().segments_dropped, 0u);
+}
+
+TEST_F(GilbertElliottTest, LongRunLossMatchesStationaryBadShare) {
+  // pgb=0.1, pbg=0.25, loss_bad=1: stationary loss = 0.1/(0.1+0.25) ~ 28.6%.
+  Pipe pipe(sim, ge_config(0.1, 0.25, 1.0), Rng{42});
+  const int n = 40000;
+  const auto dropped = run_segments(pipe, n);
+  int losses = 0;
+  for (const bool d : dropped) losses += d;
+  const double rate = static_cast<double>(losses) / n;
+  EXPECT_NEAR(rate, 0.1 / 0.35, 0.02);
+  EXPECT_EQ(pipe.stats().segments_dropped_burst,
+            static_cast<std::uint64_t>(losses));
+  EXPECT_EQ(pipe.stats().segments_dropped,
+            static_cast<std::uint64_t>(losses));
+}
+
+TEST_F(GilbertElliottTest, MeanBurstLengthIsInverseRecoveryProbability) {
+  // With loss_bad=1 a burst lasts exactly the bad-state sojourn: geometric
+  // with mean 1/p_bad_to_good = 4 segments.
+  Pipe pipe(sim, ge_config(0.05, 0.25, 1.0), Rng{1234});
+  const auto dropped = run_segments(pipe, 60000);
+  std::vector<int> bursts;
+  int current = 0;
+  for (const bool d : dropped) {
+    if (d) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) bursts.push_back(current);
+  ASSERT_GT(bursts.size(), 100u);
+  double mean = 0;
+  for (const int b : bursts) mean += b;
+  mean /= static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, 4.0, 0.4);  // within 10% over ~thousands of bursts
+}
+
+TEST_F(GilbertElliottTest, GoodStateLossStillApplies) {
+  // loss_good adds background loss between bursts.
+  Pipe pipe(sim, ge_config(0.01, 0.5, 1.0, /*loss_good=*/0.05), Rng{5});
+  const auto dropped = run_segments(pipe, 40000);
+  int losses = 0;
+  for (const bool d : dropped) losses += d;
+  // Stationary bad share = 0.01/0.51 ~ 2%; total ~ 2% + 98%*5% ~ 6.9%.
+  const double rate = static_cast<double>(losses) / 40000.0;
+  EXPECT_NEAR(rate, 0.069, 0.01);
+}
+
+TEST_F(GilbertElliottTest, DeterministicUnderFixedSeed) {
+  auto pattern = [this](std::uint64_t seed) {
+    sim::Simulation local_sim;
+    Pipe pipe(local_sim, ge_config(0.1, 0.3, 0.9), Rng{seed});
+    std::vector<bool> dropped;
+    for (int i = 0; i < 5000; ++i) {
+      const auto index = dropped.size();
+      dropped.push_back(true);
+      pipe.enqueue(Pipe::Segment{
+          .size = DataSize::bytes(1500),
+          .flow = 1,
+          .on_exit = [&dropped, index] { dropped[index] = false; },
+          .on_drop = nullptr});
+    }
+    local_sim.run();
+    return dropped;
+  };
+  EXPECT_EQ(pattern(77), pattern(77));
+  EXPECT_NE(pattern(77), pattern(78));
+}
+
+TEST_F(GilbertElliottTest, ChainStateSurvivesReconfigure) {
+  // Reconfiguring bandwidth mid-run must not reset the chain (a latency
+  // spike on a bursty link should not heal the link).
+  Pipe pipe(sim, ge_config(0.5, 0.001, 1.0), Rng{9});
+  run_segments(pipe, 200);  // almost surely in the bad state now
+  const auto before = pipe.stats().segments_dropped_burst;
+  EXPECT_GT(before, 0u);
+  PipeConfig cfg = pipe.config();
+  cfg.delay = Duration::ms(100);
+  pipe.reconfigure(cfg);
+  const auto dropped = run_segments(pipe, 200);
+  int losses = 0;
+  for (const bool d : dropped) losses += d;
+  // p_bad_to_good=0.001: had the chain reset to good, p_good_to_bad=0.5
+  // would still lose far fewer than the ~all-lost of a bad-state chain.
+  EXPECT_GT(losses, 150);
+}
+
+TEST_F(GilbertElliottTest, AdminDownDropsEverythingUntilRestored) {
+  Pipe pipe(sim, PipeConfig{.bandwidth = Bandwidth::unlimited()}, Rng{3});
+  pipe.set_down(true);
+  EXPECT_TRUE(pipe.is_down());
+  auto dropped = run_segments(pipe, 50);
+  for (const bool d : dropped) EXPECT_TRUE(d);
+  EXPECT_EQ(pipe.stats().segments_dropped_down, 50u);
+  pipe.set_down(false);
+  dropped = run_segments(pipe, 50);
+  for (const bool d : dropped) EXPECT_FALSE(d);
+  EXPECT_EQ(pipe.stats().segments_dropped_down, 50u);
+}
+
+}  // namespace
+}  // namespace p2plab::ipfw
