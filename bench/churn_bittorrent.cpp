@@ -17,7 +17,8 @@
 // Exit status is nonzero if any invariant fails, so CI can gate on it.
 //
 // Knobs: P2PLAB_CHURN_CLIENTS (default 160), P2PLAB_CHURN_PCT (default 30),
-// P2PLAB_CHURN_BASELINE=0 skips the clean reference run.
+// P2PLAB_CHURN_BASELINE=0 skips the clean reference run, --shards=N (or
+// P2PLAB_SHARDS=N) runs both passes on the parallel engine.
 #include <cstdio>
 #include <vector>
 
@@ -26,7 +27,6 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "metrics/health.hpp"
-#include "metrics/recorder.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/trace.hpp"
@@ -41,19 +41,16 @@ double median_completion(bt::Swarm& swarm) {
   return d.count() > 0 ? d.median() : -1.0;
 }
 
-/// Drive the sim until the queue is empty (bounded): proves no wedged
+/// Drive the platform until the queue is empty (bounded): proves no wedged
 /// timers survive once the application layer stopped.
-bool drain_events(sim::Simulation& sim, Duration grace) {
-  const SimTime deadline = sim.now() + grace;
-  while (sim.pending_events() > 0 && sim.now() < deadline) {
-    sim.run_until(std::min(deadline, sim.now() + Duration::sec(60)));
-  }
-  return sim.pending_events() == 0;
+bool drain_events(core::Platform& platform, Duration grace) {
+  return platform.run(platform.now() + grace) ==
+         core::Platform::RunResult::kDrained;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Churn", "160-client swarm under crash/rejoin churn");
   bt::SwarmConfig config;
   config.clients = bench::env_size("P2PLAB_CHURN_CLIENTS", 160);
@@ -61,6 +58,7 @@ int main() {
       static_cast<double>(bench::env_size("P2PLAB_CHURN_PCT", 30));
   const bool run_baseline =
       bench::env_size("P2PLAB_CHURN_BASELINE", 1) != 0;
+  const std::size_t shards = bench::shards(argc, argv);
 
   int failures = 0;
   auto check = [&](bool ok, const char* what) {
@@ -72,7 +70,8 @@ int main() {
   if (run_baseline) {
     core::Platform platform(
         topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-        core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config)});
+        core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
+                             .shards = shards});
     bt::Swarm swarm(platform, config);
     swarm.run();
     baseline_median = median_completion(swarm);
@@ -81,12 +80,13 @@ int main() {
 
   // --- churn run -------------------------------------------------------
   metrics::Registry registry;
-  metrics::FlightRecorder recorder;
-  metrics::FlightRecorder::set_active(&recorder);
-
   core::Platform platform(
       topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config)});
+      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
+                           .shards = shards});
+  // Ring tracing works in both modes (one ring per shard in engine mode);
+  // the fault subsystem's paired injected/recovered events land here.
+  platform.enable_tracing();
   bt::Swarm swarm(platform, config);
   swarm.bind_metrics(registry);
 
@@ -153,31 +153,29 @@ int main() {
       .on_tracker_restore = [&] { swarm.tracker().set_online(true); }});
   injector.arm();
 
+  // The health monitor samples from inside one simulation: classic-only.
   metrics::HealthMonitor monitor(
       metrics::HealthMonitor::Options{.csv_name = "churn_metrics"});
-  monitor.start(platform.sim(), registry);
+  if (!platform.engine_mode()) monitor.start(platform.sim(), registry);
 
   // Run until every *surviving* leecher finished (permanent departures
-  // can't complete). Swarm::run would wait for all, so drive manually.
-  std::size_t survivors = 0, expected = 0;
+  // can't complete). Swarm::run would wait for all, so use a predicate.
+  std::size_t expected = 0;
   for (std::size_t c = 0; c < config.clients; ++c) {
     expected += !faulted[c] || rejoins[c];
   }
-  const SimTime cutoff = SimTime::zero() + config.max_duration;
-  sim::Simulation& sim = platform.sim();
-  for (;;) {
-    survivors = 0;
+  auto count_survivors = [&] {
+    std::size_t done = 0;
     for (std::size_t c = 0; c < config.clients; ++c) {
-      survivors += (!faulted[c] || rejoins[c]) &&
-                   swarm.client(c).has_completed();
+      done += (!faulted[c] || rejoins[c]) && swarm.client(c).has_completed();
     }
-    if (survivors == expected || sim.now() >= cutoff ||
-        sim.pending_events() == 0) {
-      break;
-    }
-    sim.run_until(std::min(cutoff, sim.now() + Duration::sec(5)));
-  }
-  monitor.stop();
+    return done;
+  };
+  platform.run(SimTime::zero() + config.max_duration,
+               [&] { return count_survivors() == expected; },
+               Duration::sec(5));
+  const std::size_t survivors = count_survivors();
+  if (!platform.engine_mode()) monitor.stop();
 
   check(survivors == expected, "churn: every surviving leecher completes");
   std::printf("# survivors complete: %zu/%zu (of %zu clients)\n", survivors,
@@ -196,7 +194,7 @@ int main() {
   for (std::size_t c = 0; c < config.clients; ++c) swarm.client(c).stop();
   for (std::size_t s = 0; s < config.seeders; ++s) swarm.seeder(s).stop();
   swarm.tracker().set_online(false);
-  check(drain_events(sim, Duration::sec(700)),
+  check(drain_events(platform, Duration::sec(700)),
         "event queue drains after stop (no wedged timers)");
 
   metrics::CsvWriter summary("churn_summary",
@@ -211,7 +209,6 @@ int main() {
                static_cast<double>(injector.stats().injected),
                static_cast<double>(injector.stats().recovered)});
 
-  recorder.flush_to_results("trace.jsonl");
-  metrics::FlightRecorder::set_active(nullptr);
+  platform.flush_trace_to_results("trace.jsonl");
   return failures == 0 ? 0 : 1;
 }

@@ -11,6 +11,9 @@
 // Output: the percent-done distribution across clients on a 10 s grid
 // (min/quartiles/max reproduce the visual envelope of the 160 curves),
 // plus each client's completion time.
+//
+// `--shards=N` (or P2PLAB_SHARDS=N) runs on the parallel engine; the event
+// stream — and therefore every output row — is bit-identical for any N.
 #include "bench_env.hpp"
 #include "bittorrent/swarm.hpp"
 #include "metrics/health.hpp"
@@ -20,32 +23,37 @@
 
 using namespace p2plab;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 8", "160-client download of a 16 MB file");
   bt::SwarmConfig config;  // defaults are the paper's parameters
   config.clients = bench::env_size("P2PLAB_FIG8_CLIENTS", 160);
+  const std::size_t shards = bench::shards(argc, argv);
 
   // Declared before the platform: teardown (client timers cancelling
   // events) still increments bound kernel counters.
   metrics::Registry registry;
   core::Platform platform(
       topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config)});
+      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
+                           .shards = shards});
   bt::Swarm swarm(platform, config);
   swarm.bind_metrics(registry);
+  // The health monitor samples from inside one simulation: classic-only.
   metrics::HealthMonitor monitor(
       metrics::HealthMonitor::Options{.csv_name = "fig8_metrics"});
-  monitor.start(platform.sim(), registry);
+  if (!platform.engine_mode()) monitor.start(platform.sim(), registry);
   swarm.run();
-  monitor.stop();
-  monitor.print_report();
+  if (!platform.engine_mode()) {
+    monitor.stop();
+    monitor.print_report();
+  }
 
   metrics::CsvWriter envelope(
       "fig8_progress_envelope",
       {"time_s", "pct_min", "pct_p25", "pct_median", "pct_p75", "pct_max",
        "clients_complete"});
   envelope.comment("seed=" + std::to_string(config.content_seed));
-  const SimTime end = platform.sim().now() + Duration::sec(10);
+  const SimTime end = platform.now() + Duration::sec(10);
   for (SimTime t = SimTime::zero(); t <= end; t += Duration::sec(10)) {
     metrics::Distribution pct;
     std::size_t complete = 0;

@@ -58,6 +58,36 @@ void BM_EventQueueScheduleDispatchInstrumented(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleDispatchInstrumented)->Arg(1000)->Arg(100000);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-heavy protocol behavior: nearly every scheduled event (a
+  // retransmit or keepalive timer) is cancelled before it fires. Each
+  // iteration schedules one event and cancels the oldest pending one, so
+  // the queue never dispatches — this isolates the O(1) slab cancel from
+  // heap dispatch. Cancelled slots are reclaimed lazily on dispatch, so a
+  // trickle of step() calls keeps the heap from accumulating tombstones
+  // the way a real run's dispatch stream would.
+  sim::Simulation sim;
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<sim::EventId> pending(horizon);
+  for (std::size_t i = 0; i < horizon; ++i) {
+    pending[i] = sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+  }
+  std::size_t oldest = 0;
+  std::uint64_t cancelled = 0;
+  for (auto _ : state) {
+    cancelled += sim.cancel(pending[oldest]);
+    pending[oldest] = sim.schedule_after(
+        Duration::us(static_cast<std::int64_t>(rng.uniform(1000))), [] {});
+    oldest = (oldest + 1) % horizon;
+    if ((cancelled & 0xff) == 0) sim.step();
+  }
+  benchmark::DoNotOptimize(cancelled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
+
 void BM_LinearClassifierScan(benchmark::State& state) {
   sim::Simulation sim;
   ipfw::Firewall fw(sim, {}, Rng{1});

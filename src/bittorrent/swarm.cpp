@@ -27,12 +27,14 @@ Swarm::Swarm(core::Platform& platform, SwarmConfig config)
   ClientConfig client_config = config_.client;
   client_config.verify_hashes = config_.verify_hashes;
 
-  // vnodes 1..seeders: initial seeders, online from t=0.
+  // vnodes 1..seeders: initial seeders, online from t=0. Each client runs
+  // on the simulation owning its vnode — the single simulation in classic
+  // mode, its shard's in engine mode.
   for (std::size_t s = 0; s < config_.seeders; ++s) {
     const std::size_t v = 1 + s;
     seeders_.push_back(std::make_unique<Client>(
-        platform.sim(), platform.api(v), meta_, tracker_info, client_config,
-        /*start_as_seed=*/true, rng.fork(100 + v)));
+        platform.sim_of_vnode(v), platform.api(v), meta_, tracker_info,
+        client_config, /*start_as_seed=*/true, rng.fork(100 + v)));
     seeders_.back()->start();
   }
 
@@ -40,14 +42,14 @@ Swarm::Swarm(core::Platform& platform, SwarmConfig config)
   for (std::size_t c = 0; c < config_.clients; ++c) {
     const std::size_t v = 1 + config_.seeders + c;
     clients_.push_back(std::make_unique<Client>(
-        platform.sim(), platform.api(v), meta_, tracker_info, client_config,
-        /*start_as_seed=*/false, rng.fork(1000 + v)));
+        platform.sim_of_vnode(v), platform.api(v), meta_, tracker_info,
+        client_config, /*start_as_seed=*/false, rng.fork(1000 + v)));
     Client* client = clients_.back().get();
     // A fault plan may crash (or crash-and-rejoin) this vnode before the
     // staggered start fires: skip the start if the node is offline or the
     // rejoin hook already started the client.
     core::Platform* plat = &platform;
-    platform.sim().schedule_at(
+    platform.sim_of_vnode(v).schedule_at(
         SimTime::zero() +
             config_.start_interval * static_cast<std::int64_t>(c),
         [client, plat, v] {
@@ -58,27 +60,31 @@ Swarm::Swarm(core::Platform& platform, SwarmConfig config)
 
 void Swarm::bind_metrics(metrics::Registry& reg) {
   platform_->bind_metrics(reg);
-  for (auto& seeder : seeders_) seeder->bind_metrics(reg);
-  for (auto& client : clients_) client->bind_metrics(reg);
+  // Clients bind to their vnode's registry: `reg` itself in classic mode,
+  // the owning shard's single-writer registry in engine mode (merged into
+  // `reg` at the end of every Platform::run).
+  for (std::size_t s = 0; s < seeders_.size(); ++s) {
+    seeders_[s]->bind_metrics(platform_->registry_of_vnode(1 + s));
+  }
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    clients_[c]->bind_metrics(
+        platform_->registry_of_vnode(1 + config_.seeders + c));
+  }
 }
 
 void Swarm::run() {
-  // Advance in coarse chunks: checking completion per event would cost an
-  // O(clients) scan on every one of the ~10^8 events of a full-scale run.
+  // Completion is checked every 5 s of simulated time: per event it would
+  // cost an O(clients) scan on every one of the ~10^8 events of a
+  // full-scale run.
   const SimTime cutoff = SimTime::zero() + config_.max_duration;
-  sim::Simulation& sim = platform_->sim();
-  while (!all_complete() && sim.now() < cutoff && sim.pending_events() > 0) {
-    sim.run_until(std::min(cutoff, sim.now() + Duration::sec(5)));
-  }
+  platform_->run(cutoff, [this] { return all_complete(); }, Duration::sec(5));
   if (!all_complete()) {
     P2PLAB_LOG_WARN("swarm run ended with %zu/%zu clients complete",
                     completed_count(), clients_.size());
   }
 }
 
-void Swarm::run_until(SimTime deadline) {
-  platform_->sim().run_until(deadline);
-}
+void Swarm::run_until(SimTime deadline) { platform_->run(deadline); }
 
 std::size_t Swarm::completed_count() const {
   std::size_t count = 0;

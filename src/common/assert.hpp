@@ -12,8 +12,10 @@ namespace p2plab::detail {
 
 /// Invoked once before abort() on assertion failure; the flight recorder
 /// (metrics/recorder.hpp) installs its post-mortem dump here. Kept as a
-/// bare function pointer so common/ stays dependency-free.
-inline void (*g_assert_hook)() = nullptr;
+/// bare function pointer so common/ stays dependency-free. Thread-local:
+/// each parallel-engine worker installs the hook for its own shard's
+/// recorder, and an assertion dumps the ring of the thread that tripped it.
+inline thread_local void (*g_assert_hook)() = nullptr;
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {

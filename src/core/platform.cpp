@@ -1,5 +1,8 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
@@ -13,16 +16,61 @@ Platform::Platform(const topology::Topology& topo, PlatformConfig config)
     : topo_(topo), config_(config), rng_(config.seed) {
   P2PLAB_ASSERT(config_.physical_nodes >= 1);
   P2PLAB_ASSERT(topo_.total_nodes() >= 1);
-  network_ = std::make_unique<net::Network>(sim_, rng_.fork(1),
-                                            config_.network);
-  sockets_ = std::make_unique<sockets::SocketManager>(
-      *network_, vnode::Interceptor{config_.syscall_costs}, config_.stream);
+  if (config_.shards > 0) {
+    // Parallel engine: one Simulation/Network/SocketManager per shard. Every
+    // shard's network forks the *same* rng stream the classic network would
+    // use — hosts then fork host streams keyed on their global index, so
+    // randomness is identical under any partition.
+    const std::size_t k = std::min(config_.shards, config_.physical_nodes);
+    engine_ = std::make_unique<engine::Engine>(topo_.min_access_latency() +
+                                               config_.network.switch_latency);
+    for (std::size_t s = 0; s < k; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->network = std::make_unique<net::Network>(shard->sim, rng_.fork(1),
+                                                      config_.network);
+      shard->sockets = std::make_unique<sockets::SocketManager>(
+          *shard->network, vnode::Interceptor{config_.syscall_costs},
+          config_.stream);
+      engine_->add_shard(shard->sim, *shard->network);
+      shards_.push_back(std::move(shard));
+    }
+  } else {
+    network_ = std::make_unique<net::Network>(sim_, rng_.fork(1),
+                                              config_.network);
+    sockets_ = std::make_unique<sockets::SocketManager>(
+        *network_, vnode::Interceptor{config_.syscall_costs}, config_.stream);
+  }
   build_cluster();
   deploy_vnodes();
   compile_rules();
   P2PLAB_LOG_INFO(
-      "platform up: %zu vnodes on %zu pnodes (%zu per node), %zu rules",
-      vnode_count(), physical_node_count(), folding_ratio(), total_rules());
+      "platform up: %zu vnodes on %zu pnodes (%zu per node), %zu rules, "
+      "%zu shard(s)",
+      vnode_count(), physical_node_count(), folding_ratio(), total_rules(),
+      shard_count());
+}
+
+Platform::~Platform() {
+  // Deactivate tracing installed by enable_tracing on this thread before
+  // the recorders (and everything they reference) go away.
+  if (tracing()) metrics::FlightRecorder::set_active(nullptr);
+}
+
+sim::Simulation& Platform::sim() {
+  P2PLAB_ASSERT_MSG(!engine_mode(),
+                    "no single simulation in engine mode: use sim_of_vnode "
+                    "and Platform::run");
+  return sim_;
+}
+
+net::Network& Platform::network() {
+  P2PLAB_ASSERT_MSG(!engine_mode(), "per-shard networks in engine mode");
+  return *network_;
+}
+
+sockets::SocketManager& Platform::sockets() {
+  P2PLAB_ASSERT_MSG(!engine_mode(), "per-shard socket managers in engine mode");
+  return *sockets_;
 }
 
 std::size_t Platform::folding_ratio() const {
@@ -35,12 +83,114 @@ std::size_t Platform::pnode_of_vnode(std::size_t i) const {
   return i / folding_ratio();
 }
 
+std::size_t Platform::shard_of_pnode(std::size_t p) const {
+  if (!engine_) return 0;
+  // Contiguous blocks of physical nodes, like vnodes onto pnodes.
+  return p * shards_.size() / config_.physical_nodes;
+}
+
+sim::Simulation& Platform::sim_of_vnode(std::size_t i) {
+  if (!engine_) return sim_;
+  return shards_[shard_of_pnode(pnode_of_vnode(i))]->sim;
+}
+
+metrics::Registry& Platform::registry_of_vnode(std::size_t i) {
+  if (engine_) return shards_[shard_of_pnode(pnode_of_vnode(i))]->registry;
+  P2PLAB_ASSERT_MSG(master_reg_ != nullptr,
+                    "bind_metrics first: classic mode has no default registry");
+  return *master_reg_;
+}
+
+net::Network& Platform::network_of_pnode(std::size_t p) {
+  return engine_ ? *shards_[shard_of_pnode(p)]->network : *network_;
+}
+
+sockets::SocketManager& Platform::sockets_of_pnode(std::size_t p) {
+  return engine_ ? *shards_[shard_of_pnode(p)]->sockets : *sockets_;
+}
+
+SimTime Platform::now() const {
+  return engine_ ? engine_->now() : sim_.now();
+}
+
+std::uint64_t Platform::dispatched_events() const {
+  if (!engine_) return sim_.dispatched_events();
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.dispatched_events();
+  return total;
+}
+
+std::size_t Platform::pending_events() const {
+  if (!engine_) return sim_.pending_events();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.pending_events();
+  return total;
+}
+
+Platform::RunResult Platform::run(SimTime deadline,
+                                  std::function<bool()> stop_predicate,
+                                  Duration check_interval) {
+  if (engine_) {
+    const engine::Engine::StopReason reason =
+        engine_->run(deadline, std::move(stop_predicate), check_interval);
+    merge_shard_metrics();
+    switch (reason) {
+      case engine::Engine::StopReason::kPredicate:
+        return RunResult::kPredicate;
+      case engine::Engine::StopReason::kDeadline:
+        return RunResult::kDeadline;
+      default:
+        return RunResult::kDrained;
+    }
+  }
+  for (;;) {
+    if (stop_predicate && stop_predicate()) return RunResult::kPredicate;
+    const auto next = sim_.next_event_time();
+    if (!next.has_value()) return RunResult::kDrained;
+    if (*next >= deadline) {
+      sim_.run_until(deadline);
+      return RunResult::kDeadline;
+    }
+    sim_.run_until(std::min(deadline, sim_.now() + check_interval));
+  }
+}
+
+void Platform::merge_shard_metrics() {
+  if (master_reg_ == nullptr) return;
+  for (const auto& shard : shards_) {
+    master_reg_->merge_from(shard->registry);
+    // Reset so the next merge adds only the delta; the shard subsystems'
+    // handles stay valid (cells are zeroed in place).
+    shard->registry.reset();
+  }
+}
+
+void Platform::bind_metrics(metrics::Registry& reg) {
+  master_reg_ = &reg;
+  if (engine_) {
+    for (const auto& shard : shards_) {
+      shard->sim.bind_metrics(shard->registry);
+      shard->network->bind_metrics(shard->registry);
+      shard->sockets->bind_metrics(shard->registry);
+    }
+  } else {
+    sim_.bind_metrics(reg);
+    network_->bind_metrics(reg);
+    sockets_->bind_metrics(reg);
+  }
+}
+
 void Platform::build_cluster() {
+  host_by_pnode_.reserve(config_.physical_nodes);
   for (std::size_t p = 0; p < config_.physical_nodes; ++p) {
     // Host addresses start at .1 within the admin subnet.
     const Ipv4Addr admin =
         config_.admin_subnet.host(static_cast<std::uint32_t>(p + 1));
-    network_->add_host("pnode" + std::to_string(p + 1), admin, config_.host);
+    net::Host& host = network_of_pnode(p).add_host(
+        "pnode" + std::to_string(p + 1), admin, config_.host,
+        /*global_index=*/p);
+    host_by_pnode_.push_back(&host);
+    if (engine_) engine_->map_address(admin, shard_of_pnode(p));
   }
 }
 
@@ -50,19 +200,21 @@ void Platform::deploy_vnodes() {
   processes_.reserve(n);
   apis_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    net::Host& host = network_->host(pnode_of_vnode(i));
+    const std::size_t p = pnode_of_vnode(i);
     vnodes_.push_back(std::make_unique<vnode::VirtualNode>(
-        host, static_cast<std::uint32_t>(i), topo_.node_address(i)));
+        *host_by_pnode_[p], static_cast<std::uint32_t>(i),
+        topo_.node_address(i)));
     processes_.push_back(std::make_unique<vnode::Process>(*vnodes_.back()));
-    apis_.push_back(
-        std::make_unique<sockets::SocketApi>(*sockets_, *processes_.back()));
+    apis_.push_back(std::make_unique<sockets::SocketApi>(
+        sockets_of_pnode(p), *processes_.back()));
+    if (engine_) engine_->map_address(topo_.node_address(i), shard_of_pnode(p));
   }
 }
 
 void Platform::compile_rules() {
   access_pipes_.resize(topo_.total_nodes());
   link_faults_.resize(topo_.total_nodes());
-  vnode_online_.assign(topo_.total_nodes(), true);
+  vnode_online_.assign(topo_.total_nodes(), 1);
   // Per physical node: two pipe rules per hosted vnode (the emulated access
   // link, both directions), then one rule per inter-zone latency pair that
   // involves a zone with nodes hosted here (source side only; "the opposite
@@ -71,7 +223,7 @@ void Platform::compile_rules() {
   const std::size_t n = topo_.total_nodes();
 
   for (std::size_t p = 0; p < physical_node_count(); ++p) {
-    net::Host& host = network_->host(p);
+    net::Host& host = *host_by_pnode_[p];
     ipfw::Firewall& fw = host.firewall();
     std::uint32_t rule_number = 100;
     std::set<std::size_t> hosted_zones;
@@ -135,31 +287,33 @@ void Platform::compile_rules() {
 }
 
 void Platform::crash_vnode(std::size_t i) {
-  if (!vnode_online_.at(i)) return;
-  vnode_online_[i] = false;
+  if (vnode_online_.at(i) == 0) return;
+  vnode_online_[i] = 0;
   const Ipv4Addr addr = topo_.node_address(i);
+  const std::size_t p = pnode_of_vnode(i);
   // Order matters: abort sockets first so their final state transitions do
   // not try to transmit from an already-detached address.
-  sockets_->abort_endpoints_of(addr);
-  network_->detach_address(addr);
+  sockets_of_pnode(p).abort_endpoints_of(addr);
+  network_of_pnode(p).detach_address(addr);
 }
 
 void Platform::rejoin_vnode(std::size_t i) {
-  if (vnode_online_.at(i)) return;
-  vnode_online_[i] = true;
-  network_->reattach_address(topo_.node_address(i), host_of_vnode(i));
+  if (vnode_online_.at(i) != 0) return;
+  vnode_online_[i] = 1;
+  network_of_pnode(pnode_of_vnode(i))
+      .reattach_address(topo_.node_address(i), host_of_vnode(i));
 }
 
 void Platform::set_link_down(std::size_t i, bool down) {
   const AccessPipes& ap = access_pipes_.at(i);
-  ipfw::Firewall& fw = network_->host(ap.pnode).firewall();
+  ipfw::Firewall& fw = host_by_pnode_[ap.pnode]->firewall();
   fw.pipe(ap.up).set_down(down);
   fw.pipe(ap.down).set_down(down);
 }
 
 bool Platform::link_down(std::size_t i) const {
   const AccessPipes& ap = access_pipes_.at(i);
-  return network_->host(ap.pnode).firewall().pipe(ap.up).is_down();
+  return host_by_pnode_[ap.pnode]->firewall().pipe(ap.up).is_down();
 }
 
 void Platform::set_link_latency_offset(std::size_t i, Duration extra) {
@@ -178,7 +332,7 @@ void Platform::apply_link_config(std::size_t i) {
   const topology::LinkClass& link = topo_.link_of_node(i);
   const LinkFaults& faults = link_faults_.at(i);
   const AccessPipes& ap = access_pipes_.at(i);
-  ipfw::Firewall& fw = network_->host(ap.pnode).firewall();
+  ipfw::Firewall& fw = host_by_pnode_[ap.pnode]->firewall();
 
   ipfw::GilbertElliott burst{.p_good_to_bad = link.burst_p_good_bad,
                              .p_bad_to_good = link.burst_p_bad_good,
@@ -198,6 +352,9 @@ void Platform::apply_link_config(std::size_t i) {
 
 void Platform::ping(Ipv4Addr src, Ipv4Addr dst,
                     std::function<void(Duration)> on_rtt, DataSize size) {
+  P2PLAB_ASSERT_MSG(!engine_mode(),
+                    "ping is classic-mode only: its reply closure would run "
+                    "on the destination's shard");
   const SimTime start = sim_.now();
   const ipfw::FlowId flow = 0x7f000000ull + ++ping_flow_;
   net::Packet request;
@@ -224,10 +381,79 @@ void Platform::ping(Ipv4Addr src, Ipv4Addr dst,
 
 std::size_t Platform::total_rules() const {
   std::size_t total = 0;
-  for (std::size_t p = 0; p < config_.physical_nodes; ++p) {
-    total += network_->host(p).firewall().rule_count();
+  for (const net::Host* host : host_by_pnode_) {
+    total += host->firewall().rule_count();
   }
   return total;
+}
+
+void Platform::enable_tracing(std::size_t capacity) {
+  if (engine_) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->recorder =
+          std::make_unique<metrics::FlightRecorder>(capacity);
+      engine_->set_recorder(s, shards_[s]->recorder.get());
+    }
+    // Setup-time events (main thread) land in shard 0's ring — the same
+    // ring for every shard count, preserving determinism.
+    metrics::FlightRecorder::set_active(shards_[0]->recorder.get());
+  } else {
+    recorder_ = std::make_unique<metrics::FlightRecorder>(capacity);
+    metrics::FlightRecorder::set_active(recorder_.get());
+  }
+}
+
+bool Platform::tracing() const {
+  return recorder_ != nullptr ||
+         (!shards_.empty() && shards_[0]->recorder != nullptr);
+}
+
+std::uint64_t Platform::trace_dropped() const {
+  std::uint64_t dropped = recorder_ ? recorder_->dropped() : 0;
+  for (const auto& shard : shards_) {
+    if (shard->recorder) dropped += shard->recorder->dropped();
+  }
+  return dropped;
+}
+
+std::vector<std::string> Platform::trace_lines() const {
+  std::vector<metrics::FlightRecorder::RenderedEvent> events;
+  auto append = [&events](const metrics::FlightRecorder& rec) {
+    auto rendered = rec.rendered_events();
+    std::move(rendered.begin(), rendered.end(), std::back_inserter(events));
+  };
+  if (recorder_) append(*recorder_);
+  for (const auto& shard : shards_) {
+    if (shard->recorder) append(*shard->recorder);
+  }
+  // Canonical order: (timestamp, rendered bytes). Ties across shards carry
+  // identical line bytes or commute, so the sorted sequence — unlike raw
+  // ring order — is independent of how hosts were partitioned.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const metrics::FlightRecorder::RenderedEvent& a,
+                      const metrics::FlightRecorder::RenderedEvent& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.line < b.line;
+                   });
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (auto& ev : events) lines.push_back(std::move(ev.line));
+  return lines;
+}
+
+bool Platform::flush_trace_to_results(const char* filename) const {
+  if (!tracing()) return false;
+  const char* dir = std::getenv("P2PLAB_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + filename;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  for (const std::string& line : trace_lines()) {
+    std::fputs(line.c_str(), out);
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  return true;
 }
 
 }  // namespace p2plab::core

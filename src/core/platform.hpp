@@ -7,15 +7,26 @@
 // rule per inter-group latency pair — the Figure 7 recipe), and exposes
 // per-virtual-node process environments and socket APIs for the studied
 // application. A ping probe reproduces the paper's latency measurements.
+//
+// With PlatformConfig::shards > 0 the platform runs on the parallel engine
+// (src/engine): physical nodes are partitioned into contiguous blocks, one
+// Simulation + Network + SocketManager per shard, driven by worker threads
+// under conservative synchronization. The partition is invisible to
+// results: a K-shard run is bit-identical to the 1-shard engine run (see
+// engine/engine.hpp and DESIGN.md §9). shards == 0 keeps the classic
+// single-threaded path with zero engine involvement.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/engine.hpp"
 #include "ipfw/pipe.hpp"
+#include "metrics/recorder.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 #include "sockets/socket.hpp"
@@ -42,24 +53,31 @@ struct PlatformConfig {
   /// (DESIGN.md §6). Bounded per flow by the transport send window.
   DataSize vnode_pipe_queue = DataSize::mib(8);
   std::uint64_t seed = 1;
+  /// Parallel engine shard count; 0 = classic single-threaded mode.
+  /// Clamped to physical_nodes (a shard owns whole physical nodes).
+  std::size_t shards = 0;
 };
 
 class Platform {
  public:
   Platform(const topology::Topology& topo, PlatformConfig config);
+  ~Platform();
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
-  sim::Simulation& sim() { return sim_; }
-  net::Network& network() { return *network_; }
-  sockets::SocketManager& sockets() { return *sockets_; }
+  /// Classic-mode accessors; in engine mode state is per shard, so use
+  /// sim_of_vnode / run / now / the aggregate counters instead.
+  sim::Simulation& sim();
+  net::Network& network();
+  sockets::SocketManager& sockets();
+
   const topology::Topology& topology() const { return topo_; }
   const PlatformConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
 
   std::size_t vnode_count() const { return vnodes_.size(); }
-  std::size_t physical_node_count() const { return network_->host_count(); }
+  std::size_t physical_node_count() const { return host_by_pnode_.size(); }
 
   vnode::VirtualNode& vnode(std::size_t i) { return *vnodes_.at(i); }
   vnode::Process& process(std::size_t i) { return *processes_.at(i); }
@@ -71,6 +89,40 @@ class Platform {
   /// Virtual nodes folded onto each physical node (ceil(N/P)).
   std::size_t folding_ratio() const;
 
+  // -- parallel engine -----------------------------------------------------
+
+  bool engine_mode() const { return engine_ != nullptr; }
+  /// Worker threads driving the platform (1 in classic mode).
+  std::size_t shard_count() const { return engine_ ? shards_.size() : 1; }
+  /// Shard owning physical node p (0 in classic mode).
+  std::size_t shard_of_pnode(std::size_t p) const;
+
+  /// The simulation that owns vnode i's state. Application code must
+  /// schedule a vnode's events here (classic mode: the one simulation) so
+  /// they execute on the owning shard's thread.
+  sim::Simulation& sim_of_vnode(std::size_t i);
+  /// The registry a vnode's application metrics must bind to (per shard in
+  /// engine mode — single-writer; merged into the master on run end).
+  /// Classic mode / before bind_metrics: the master registry itself.
+  metrics::Registry& registry_of_vnode(std::size_t i);
+
+  /// Platform-wide clock: identical on every shard at every stop.
+  SimTime now() const;
+  std::uint64_t dispatched_events() const;
+  std::size_t pending_events() const;
+
+  enum class RunResult {
+    kDrained,    // no pending events anywhere
+    kPredicate,  // the stop predicate returned true
+    kDeadline,   // simulated time reached `deadline`
+  };
+  /// Run until `deadline`, the predicate (evaluated every `check_interval`
+  /// of simulated time) returns true, or the event queues drain. The only
+  /// way to advance an engine-mode platform; in classic mode it is
+  /// equivalent to chunked Simulation::run_until calls.
+  RunResult run(SimTime deadline, std::function<bool()> stop_predicate = {},
+                Duration check_interval = Duration::sec(5));
+
   // -- vnode lifecycle (fault injection) ----------------------------------
   //
   // A crash models `kill -9` of the studied process plus the loss of its
@@ -80,8 +132,11 @@ class Platform {
   // loss via RST once the address returns, or retransmit-timeout
   // exhaustion while it is gone. rejoin_vnode restores routing; the
   // application layer re-starts its process on top.
+  //
+  // In engine mode these touch only the owning shard's state: call them
+  // from events scheduled on sim_of_vnode(i) (the fault injector does).
 
-  bool vnode_online(std::size_t i) const { return vnode_online_.at(i); }
+  bool vnode_online(std::size_t i) const { return vnode_online_.at(i) != 0; }
   void crash_vnode(std::size_t i);
   void rejoin_vnode(std::size_t i);
 
@@ -112,25 +167,53 @@ class Platform {
 
   /// ICMP-echo-like probe: round-trip time of a `size`-byte packet through
   /// the full emulated path, both ways. The callback fires on reply.
+  /// Classic mode only (the engine carries socket traffic exclusively).
   void ping(Ipv4Addr src, Ipv4Addr dst, std::function<void(Duration)> on_rtt,
             DataSize size = DataSize::bytes(64));
 
   /// Total IPFW rules installed across all physical nodes (diagnostics).
   std::size_t total_rules() const;
 
-  /// Bind the whole platform's instrumentation (sim kernel, network +
-  /// per-host firewalls, socket manager) to `reg`.
-  void bind_metrics(metrics::Registry& reg) {
-    sim_.bind_metrics(reg);
-    network_->bind_metrics(reg);
-    sockets_->bind_metrics(reg);
-  }
+  /// Bind the whole platform's instrumentation to `reg`. Engine mode binds
+  /// each shard's subsystems to a private registry and folds those into
+  /// `reg` after every run() (Registry::merge_from).
+  void bind_metrics(metrics::Registry& reg);
+
+  // -- tracing ------------------------------------------------------------
+
+  /// Activate flight recording: one ring in classic mode, one per shard in
+  /// engine mode (workers activate their own — recording never crosses
+  /// threads).
+  void enable_tracing(std::size_t capacity = 1 << 16);
+  bool tracing() const;
+  /// Events lost to ring wraparound, summed over recorders. trace_lines()
+  /// is complete (and the determinism guarantee byte-exact) only when 0.
+  std::uint64_t trace_dropped() const;
+  /// All recorded events rendered to JSONL lines in canonical order —
+  /// sorted by (timestamp, line bytes), which is shard-count independent.
+  std::vector<std::string> trace_lines() const;
+  /// Write trace_lines() to $P2PLAB_RESULTS_DIR/<filename>; false if the
+  /// env var is unset, tracing is off, or the file cannot be written.
+  bool flush_trace_to_results(const char* filename = "trace.jsonl") const;
 
  private:
+  /// One engine shard: a private simulation, network (hosts, firewalls),
+  /// socket manager and metrics registry, driven by one worker thread.
+  struct Shard {
+    sim::Simulation sim;
+    std::unique_ptr<net::Network> network;
+    std::unique_ptr<sockets::SocketManager> sockets;
+    metrics::Registry registry;
+    std::unique_ptr<metrics::FlightRecorder> recorder;
+  };
+
   void build_cluster();
   void deploy_vnodes();
   void compile_rules();
   void apply_link_config(std::size_t i);
+  net::Network& network_of_pnode(std::size_t p);
+  sockets::SocketManager& sockets_of_pnode(std::size_t p);
+  void merge_shard_metrics();
 
   /// Per-vnode link-fault overlay on top of the topology's base pipe
   /// configuration (set_link_* recompute base + overlay so faults compose
@@ -143,16 +226,23 @@ class Platform {
 
   topology::Topology topo_;
   PlatformConfig config_;
-  sim::Simulation sim_;
+  sim::Simulation sim_;  // classic mode; idle when sharded
   Rng rng_;
-  std::unique_ptr<net::Network> network_;
-  std::unique_ptr<sockets::SocketManager> sockets_;
+  std::unique_ptr<net::Network> network_;            // classic mode
+  std::unique_ptr<sockets::SocketManager> sockets_;  // classic mode
+  std::unique_ptr<metrics::FlightRecorder> recorder_;  // classic tracing
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::vector<net::Host*> host_by_pnode_;
+  metrics::Registry* master_reg_ = nullptr;
   std::vector<std::unique_ptr<vnode::VirtualNode>> vnodes_;
   std::vector<std::unique_ptr<vnode::Process>> processes_;
   std::vector<std::unique_ptr<sockets::SocketApi>> apis_;
   std::vector<AccessPipes> access_pipes_;
   std::vector<LinkFaults> link_faults_;
-  std::vector<bool> vnode_online_;
+  /// uint8_t, not bool: vector<bool> packs bits, and adjacent vnodes can
+  /// live on different shards — independent bytes keep writes race-free.
+  std::vector<std::uint8_t> vnode_online_;
   std::uint64_t ping_flow_ = 0;
 };
 

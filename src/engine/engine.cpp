@@ -1,0 +1,183 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace p2plab::engine {
+
+Engine::Engine(Duration lookahead) : lookahead_(lookahead) {
+  P2PLAB_ASSERT_MSG(lookahead_ > Duration::zero(),
+                    "conservative synchronization needs positive lookahead");
+}
+
+std::size_t Engine::add_shard(sim::Simulation& sim, net::Network& network) {
+  P2PLAB_ASSERT_MSG(!running_, "cannot add shards mid-run");
+  const std::size_t index = sims_.size();
+  sims_.push_back(&sim);
+  networks_.push_back(&network);
+  recorders_.push_back(nullptr);
+  network.set_fabric_handoff(this);
+  outbox_.assign(sims_.size(),
+                 std::vector<std::vector<IngressEntry>>(sims_.size()));
+  return index;
+}
+
+void Engine::set_recorder(std::size_t shard,
+                          metrics::FlightRecorder* recorder) {
+  recorders_.at(shard) = recorder;
+}
+
+void Engine::map_address(Ipv4Addr addr, std::size_t shard) {
+  P2PLAB_ASSERT(shard < sims_.size());
+  const auto [it, inserted] = shard_of_addr_.emplace(addr.to_u32(), shard);
+  P2PLAB_ASSERT_MSG(inserted || it->second == shard,
+                    "address mapped to two shards");
+}
+
+bool Engine::push(std::size_t src_host, std::uint64_t seq, SimTime stamp,
+                  net::Packet packet) {
+  const auto dst_it = shard_of_addr_.find(packet.dst.to_u32());
+  if (dst_it == shard_of_addr_.end()) return false;  // never deployed
+  // The source address was routable on its shard moments ago, so it is
+  // mapped; the lookup names the outbox row this worker exclusively owns.
+  const std::size_t src_shard = shard_of_addr_.at(packet.src.to_u32());
+  P2PLAB_ASSERT_MSG(stamp >= window_end_,
+                    "lookahead violated: handoff stamp inside the window");
+  outbox_[src_shard][dst_it->second].push_back(
+      IngressEntry{stamp, src_host, seq, std::move(packet)});
+  return true;
+}
+
+Engine::StopReason Engine::run(SimTime deadline,
+                               std::function<bool()> stop_predicate,
+                               Duration check_interval) {
+  P2PLAB_ASSERT_MSG(!sims_.empty(), "no shards registered");
+  P2PLAB_ASSERT(check_interval > Duration::zero());
+  deadline_ = deadline;
+  stop_predicate_ = std::move(stop_predicate);
+  check_interval_ = check_interval;
+  // Evaluate the predicate before executing anything: the caller's stop
+  // condition may already hold (e.g. resuming a finished swarm).
+  next_check_ = cursor_;
+  phase_ = Phase::kRunWindow;
+  running_ = true;
+
+  barrier_ = std::make_unique<PhaseBarrier>(sims_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(sims_.size());
+  for (std::size_t s = 0; s < sims_.size(); ++s) {
+    threads.emplace_back([this, s] { worker(s); });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+
+  if (phase_ == Phase::kStopDeadline) {
+    // The stop proves no shard holds an event before the deadline, so
+    // advancing every clock there is safe — run_until semantics.
+    for (auto* sim : sims_) {
+      if (sim->now() < deadline_) sim->advance_to(deadline_);
+    }
+    if (cursor_ < deadline_) cursor_ = deadline_;
+  }
+  stop_predicate_ = nullptr;
+  switch (phase_) {
+    case Phase::kStopPredicate: return StopReason::kPredicate;
+    case Phase::kStopDeadline: return StopReason::kDeadline;
+    default: return StopReason::kDrained;
+  }
+}
+
+void Engine::worker(std::size_t shard) {
+  metrics::FlightRecorder* const rec = recorders_[shard];
+  if (rec != nullptr) metrics::FlightRecorder::set_active(rec);
+  sim::Simulation& sim = *sims_[shard];
+  for (;;) {
+    barrier_->arrive_and_wait([this] { coordinate(); });
+    if (phase_ != Phase::kRunWindow) break;
+    sim.run_before(window_end_);
+    sim.advance_to(window_end_);
+  }
+  if (rec != nullptr) metrics::FlightRecorder::set_active(nullptr);
+}
+
+void Engine::coordinate() {
+  const std::size_t k = sims_.size();
+
+  // 1. Drain all outboxes. Per destination shard, merge the K source
+  //    batches and sort by (stamp, src_host, seq) — a strict total order,
+  //    since seq is per source host — then schedule each packet's
+  //    fabric_arrive at its stamp. Batch contents are shard-count
+  //    independent: pushes happen at source event times within a window
+  //    grid that is itself derived only from global quantities.
+  for (std::size_t d = 0; d < k; ++d) {
+    merge_buf_.clear();
+    for (std::size_t s = 0; s < k; ++s) {
+      auto& box = outbox_[s][d];
+      std::move(box.begin(), box.end(), std::back_inserter(merge_buf_));
+      box.clear();
+    }
+    if (merge_buf_.empty()) continue;
+    std::sort(merge_buf_.begin(), merge_buf_.end(),
+              [](const IngressEntry& a, const IngressEntry& b) {
+                if (a.stamp != b.stamp) return a.stamp < b.stamp;
+                if (a.src_host != b.src_host) return a.src_host < b.src_host;
+                return a.seq < b.seq;
+              });
+    net::Network* const net = networks_[d];
+    for (IngressEntry& e : merge_buf_) {
+      sims_[d]->schedule_at(e.stamp,
+                            [net, pkt = std::move(e.packet)]() mutable {
+                              net->fabric_arrive(std::move(pkt));
+                            });
+    }
+    merge_buf_.clear();
+  }
+
+  // 2. Global minimum pending-event time — after the drain, so it is the
+  //    same no matter how hosts were partitioned.
+  std::optional<SimTime> gmin;
+  for (auto* sim : sims_) {
+    const auto t = sim->next_event_time();
+    if (t.has_value() && (!gmin.has_value() || *t < *gmin)) gmin = t;
+  }
+
+  // 3. Stop predicate, on the fixed check grid. cursor_ only ever lands on
+  //    barrier times, which are shard-count independent, so the predicate
+  //    is evaluated at identical simulated instants for every K.
+  if (stop_predicate_ && cursor_ >= next_check_) {
+    while (next_check_ <= cursor_) next_check_ += check_interval_;
+    if (stop_predicate_()) {
+      phase_ = Phase::kStopPredicate;
+      return;
+    }
+  }
+
+  if (!gmin.has_value()) {
+    phase_ = Phase::kStopDrained;
+    return;
+  }
+  if (*gmin >= deadline_) {
+    // Nothing left before the deadline; run() advances every clock to it.
+    phase_ = Phase::kStopDeadline;
+    return;
+  }
+
+  // 4. Next window: fast-forward empty regions of the fixed L-grid straight
+  //    to the window holding the earliest event. Windows are [wL, (w+1)L),
+  //    clamped to the deadline (run_until semantics: events strictly before
+  //    it); every event executed in one satisfies t >= wL, so every handoff
+  //    stamp is >= wL + L >= window end — the push() assertion. Both w and
+  //    the clamp derive from global quantities only, keeping the window
+  //    sequence identical for every shard count.
+  const std::int64_t l_ns = lookahead_.count_ns();
+  const std::int64_t w = gmin->count_ns() / l_ns;
+  window_end_ = std::min(SimTime::from_ns((w + 1) * l_ns), deadline_);
+  cursor_ = window_end_;
+  phase_ = Phase::kRunWindow;
+}
+
+}  // namespace p2plab::engine

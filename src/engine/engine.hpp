@@ -1,0 +1,174 @@
+// Sharded parallel runtime: conservative synchronization on a fixed grid.
+//
+// The engine partitions the platform's physical hosts into K shards, each
+// owning a private Simulation, Network (firewalls, NICs, hosted vnodes) and
+// SocketManager, driven by one worker thread. Shards execute in lockstep
+// windows of length L — the engine's lookahead — separated by barriers:
+//
+//   barrier: merge cross-shard packets, pick next window [wL, (w+1)L)
+//   window:  every shard runs its own events with time < (w+1)L
+//
+// L = (minimum emulated access-link delay) + switch latency. Every
+// inter-host packet pays at least one source access pipe before it can
+// touch another host, and in engine mode that pipe's fixed delay is
+// *deferred* into the handoff stamp (net/network.hpp). A packet sent at
+// time t therefore arrives no earlier than t + L, which lands at or beyond
+// the end of the current window: no shard can receive an event for the
+// window it is executing, the classic conservative-lookahead argument.
+//
+// Determinism is the point, not just safety. A K-shard run is bit-identical
+// to the 1-shard engine run because every source of ordering is keyed on
+// shard-independent values:
+//   * the window grid is fixed (multiples of L) and the fast-forward target
+//     is derived from the global minimum pending-event time,
+//   * all inter-host packets — even same-shard ones — take the handoff
+//     path, so the event sequence cannot depend on the partition,
+//   * merged ingress is sorted by (stamp, source host global index, per-
+//     source sequence), a total order with no ties,
+//   * per-host rng streams, connection ids and trace rings are keyed on
+//     the host's *global* index.
+// Events of different hosts inside one window commute (all mutable state is
+// host-local), so per-host event subsequences are partition-independent by
+// induction — which is what the golden-trace test in tests/engine asserts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "common/time.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace p2plab::engine {
+
+/// Reusable K-party barrier. The last thread to arrive runs `completion`
+/// while the others are still blocked, giving it exclusive access to all
+/// shard state with happens-before edges in both directions (mutex).
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(std::size_t parties) : parties_(parties) {}
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  template <typename Completion>
+  void arrive_and_wait(Completion&& completion) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (++waiting_ == parties_) {
+      completion();
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      const std::uint64_t gen = generation_;
+      cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// The sharded runtime. Owns no simulation state itself — shards register
+/// their Simulation/Network pair and the engine installs itself as the
+/// network's FabricHandoff. K = 1 is fully supported and is the baseline
+/// the determinism guarantee is stated against.
+class Engine final : public net::FabricHandoff {
+ public:
+  enum class StopReason {
+    kDrained,    // no shard has any pending event
+    kPredicate,  // the stop predicate returned true at a barrier
+    kDeadline,   // the next window would start at or past the deadline
+  };
+
+  /// `lookahead` must be a positive lower bound on the latency of every
+  /// inter-host path (min access-link delay + switch latency).
+  explicit Engine(Duration lookahead);
+
+  /// Register a shard; returns its index. Installs the engine as `network`'s
+  /// fabric handoff. All shards must be added before the first run().
+  std::size_t add_shard(sim::Simulation& sim, net::Network& network);
+
+  /// Activate `recorder` on the shard's worker thread for the duration of
+  /// each run (per-shard rings keep tracing race-free).
+  void set_recorder(std::size_t shard, metrics::FlightRecorder* recorder);
+
+  /// Declare that `addr` lives on `shard`. Mappings are static: a crashed
+  /// vnode's address stays mapped (withdrawal is the destination shard's
+  /// business); push() returns false only for addresses never mapped.
+  void map_address(Ipv4Addr addr, std::size_t shard);
+
+  std::size_t shard_count() const { return sims_.size(); }
+  std::size_t shard_of_address(Ipv4Addr addr) const {
+    return shard_of_addr_.at(addr.to_u32());
+  }
+  Duration lookahead() const { return lookahead_; }
+  /// Barrier time: every shard has executed all its events before this.
+  SimTime now() const { return cursor_; }
+
+  /// Run all shards until `deadline` (clocks advance to it), the optional
+  /// `stop_predicate` returns true (evaluated under the barrier, on the
+  /// fixed grid of `check_interval` multiples so the evaluation schedule is
+  /// shard-count-independent), or every shard drains. Resumable: a stopped
+  /// engine continues exactly where it left off on the next call.
+  StopReason run(SimTime deadline, std::function<bool()> stop_predicate = {},
+                 Duration check_interval = Duration::sec(5));
+
+  /// FabricHandoff: called by a shard's Network for every inter-host
+  /// packet. `stamp` must land at or beyond the current window's end —
+  /// that is the lookahead contract, and it is asserted.
+  bool push(std::size_t src_host, std::uint64_t seq, SimTime stamp,
+            net::Packet packet) override;
+
+ private:
+  struct IngressEntry {
+    SimTime stamp;
+    std::size_t src_host;
+    std::uint64_t seq;
+    net::Packet packet;
+  };
+
+  enum class Phase { kRunWindow, kStopDrained, kStopPredicate, kStopDeadline };
+
+  void worker(std::size_t shard);
+  /// Barrier completion: drain outboxes in merge order, then decide the
+  /// next window or a stop. Runs with exclusive access to all shards.
+  void coordinate();
+
+  Duration lookahead_;
+  std::vector<sim::Simulation*> sims_;
+  std::vector<net::Network*> networks_;
+  std::vector<metrics::FlightRecorder*> recorders_;
+  std::unordered_map<std::uint32_t, std::size_t> shard_of_addr_;
+
+  // outbox_[src_shard][dst_shard]: plain vectors — during a window each is
+  // written by exactly one worker (the source shard's), and the barrier's
+  // mutex publishes them to the coordinator.
+  std::vector<std::vector<std::vector<IngressEntry>>> outbox_;
+  std::vector<IngressEntry> merge_buf_;  // coordinator scratch
+
+  std::unique_ptr<PhaseBarrier> barrier_;
+  SimTime cursor_ = SimTime::zero();      // completed through here
+  SimTime window_end_ = SimTime::zero();  // end of the window in flight
+  SimTime next_check_ = SimTime::zero();
+  SimTime deadline_ = SimTime::max();
+  Duration check_interval_ = Duration::sec(5);
+  std::function<bool()> stop_predicate_;
+  Phase phase_ = Phase::kRunWindow;
+  bool running_ = false;
+};
+
+}  // namespace p2plab::engine

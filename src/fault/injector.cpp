@@ -20,41 +20,58 @@ void FaultInjector::bind_metrics(metrics::Registry& reg) {
   metrics_.active = reg.gauge("fault.active");
 }
 
+sim::Simulation& FaultInjector::sim_for(const FaultSpec& spec) {
+  const std::size_t vnode =
+      spec.kind == FaultKind::kTrackerOutage ? 0 : spec.node;
+  return platform_.sim_of_vnode(vnode);
+}
+
 void FaultInjector::arm() {
   P2PLAB_ASSERT_MSG(!armed_, "FaultInjector::arm called twice");
   armed_ = true;
-  sim::Simulation& sim = platform_.sim();
   std::uint64_t next_id = 0;
   for (const FaultSpec& spec : plan_.specs()) {
     const std::uint64_t id = next_id++;
+    // Each fault is scheduled on the simulation owning its target, so in
+    // engine mode the injection executes on that shard's worker thread and
+    // only ever touches that shard's infrastructure.
+    sim::Simulation& sim = sim_for(spec);
     const SimTime at = spec.at < sim.now() ? sim.now() : spec.at;
     sim.schedule_at(at, [this, spec, id] { inject(spec, id); });
   }
 }
 
-void FaultInjector::mark_injected(const FaultSpec& spec, std::uint64_t id) {
-  ++stats_.injected;
-  metrics_.injected.inc();
-  metrics_.active.set(static_cast<double>(stats_.unrecovered()));
-  P2PLAB_TRACE(platform_.sim().now(), "fault", "fault_injected",
+void FaultInjector::mark_injected(const FaultSpec& spec, std::uint64_t id,
+                                  SimTime at) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.injected;
+    metrics_.injected.inc();
+    metrics_.active.set(static_cast<double>(stats_.unrecovered()));
+  }
+  P2PLAB_TRACE(at, "fault", "fault_injected",
                {{"id", id},
                 {"type", fault_kind_name(spec.kind)},
                 {"node", spec.node}});
 }
 
-void FaultInjector::mark_recovered(const FaultSpec& spec, std::uint64_t id) {
-  ++stats_.recovered;
-  metrics_.recovered.inc();
-  metrics_.active.set(static_cast<double>(stats_.unrecovered()));
-  P2PLAB_TRACE(platform_.sim().now(), "fault", "fault_recovered",
+void FaultInjector::mark_recovered(const FaultSpec& spec, std::uint64_t id,
+                                   SimTime at) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.recovered;
+    metrics_.recovered.inc();
+    metrics_.active.set(static_cast<double>(stats_.unrecovered()));
+  }
+  P2PLAB_TRACE(at, "fault", "fault_recovered",
                {{"id", id},
                 {"type", fault_kind_name(spec.kind)},
                 {"node", spec.node}});
 }
 
 void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
-  sim::Simulation& sim = platform_.sim();
-  mark_injected(spec, id);
+  sim::Simulation& sim = sim_for(spec);
+  mark_injected(spec, id, sim.now());
 
   switch (spec.kind) {
     case FaultKind::kCrash:
@@ -68,12 +85,12 @@ void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
         sim.schedule_after(spec.duration, [this, spec, id] {
           platform_.rejoin_vnode(spec.node);
           if (node_hooks_.on_rejoin) node_hooks_.on_rejoin(spec.node);
-          mark_recovered(spec, id);
+          mark_recovered(spec, id, sim_for(spec).now());
         });
       } else {
         // Permanent departure: the teardown itself is the recovery — the
         // platform is in its intended post-fault state right away.
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       }
       break;
 
@@ -83,7 +100,7 @@ void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
       // FINs) drain before the address disappears.
       sim.schedule_after(config_.leave_grace, [this, spec, id] {
         platform_.crash_vnode(spec.node);
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       });
       break;
 
@@ -91,7 +108,7 @@ void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
       platform_.set_link_down(spec.node, true);
       sim.schedule_after(spec.duration, [this, spec, id] {
         platform_.set_link_down(spec.node, false);
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       });
       break;
 
@@ -99,7 +116,7 @@ void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
       platform_.set_link_latency_offset(spec.node, spec.extra_latency);
       sim.schedule_after(spec.duration, [this, spec, id] {
         platform_.set_link_latency_offset(spec.node, Duration::zero());
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       });
       break;
 
@@ -108,23 +125,35 @@ void FaultInjector::inject(const FaultSpec& spec, std::uint64_t id) {
       sim.schedule_after(spec.duration, [this, spec, id] {
         // An empty model restores the topology's own configuration.
         platform_.set_link_burst_loss(spec.node, ipfw::GilbertElliott{});
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       });
       break;
 
-    case FaultKind::kTrackerOutage:
+    case FaultKind::kTrackerOutage: {
       // Overlapping outage windows refcount: the tracker restores when the
-      // last window closes.
-      if (++tracker_outages_ == 1 && service_hooks_.on_tracker_outage) {
+      // last window closes. (All tracker faults run on vnode 0's shard, so
+      // the lock is for the header's invariant, not contention.)
+      bool first;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        first = ++tracker_outages_ == 1;
+      }
+      if (first && service_hooks_.on_tracker_outage) {
         service_hooks_.on_tracker_outage();
       }
       sim.schedule_after(spec.duration, [this, spec, id] {
-        if (--tracker_outages_ == 0 && service_hooks_.on_tracker_restore) {
+        bool last;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          last = --tracker_outages_ == 0;
+        }
+        if (last && service_hooks_.on_tracker_restore) {
           service_hooks_.on_tracker_restore();
         }
-        mark_recovered(spec, id);
+        mark_recovered(spec, id, sim_for(spec).now());
       });
       break;
+    }
   }
 }
 

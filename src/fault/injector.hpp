@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
 #include "core/platform.hpp"
 #include "fault/plan.hpp"
@@ -92,8 +93,11 @@ class FaultInjector {
 
  private:
   void inject(const FaultSpec& spec, std::uint64_t id);
-  void mark_injected(const FaultSpec& spec, std::uint64_t id);
-  void mark_recovered(const FaultSpec& spec, std::uint64_t id);
+  void mark_injected(const FaultSpec& spec, std::uint64_t id, SimTime at);
+  void mark_recovered(const FaultSpec& spec, std::uint64_t id, SimTime at);
+  /// The simulation owning the spec's target: node faults run on the
+  /// faulted vnode's shard, service faults on the tracker's (vnode 0).
+  sim::Simulation& sim_for(const FaultSpec& spec);
 
   core::Platform& platform_;
   FaultPlan plan_;
@@ -102,6 +106,10 @@ class FaultInjector {
   ServiceHooks service_hooks_;
   InjectorStats stats_;
   InjectorMetrics metrics_;
+  /// Guards stats_, metrics_ and tracker_outages_: in engine mode faults
+  /// execute on shard worker threads, and the master-registry cells behind
+  /// metrics_ are plain non-atomic stores.
+  std::mutex mu_;
   bool armed_ = false;
   std::uint64_t tracker_outages_ = 0;  // nested-outage refcount
 };

@@ -77,7 +77,10 @@ void Pipe::enqueue(Segment seg) {
     metrics_.segments_out.inc();
     metrics_.bytes_out.inc(seg.size.count_bytes());
     auto cb = std::move(seg.on_exit);
-    if (config_.delay == Duration::zero()) {
+    if (seg.defer_delay != nullptr) {
+      *seg.defer_delay += config_.delay;
+      cb();
+    } else if (config_.delay == Duration::zero()) {
       cb();
     } else {
       sim_.schedule_after(config_.delay, std::move(cb));
@@ -176,7 +179,10 @@ void Pipe::depart(Segment seg) {
   metrics_.segments_out.inc();
   metrics_.bytes_out.inc(seg.size.count_bytes());
   auto cb = std::move(seg.on_exit);
-  if (config_.delay == Duration::zero()) {
+  if (seg.defer_delay != nullptr) {
+    *seg.defer_delay += config_.delay;
+    cb();
+  } else if (config_.delay == Duration::zero()) {
     cb();
   } else {
     sim_.schedule_after(config_.delay, std::move(cb));

@@ -91,12 +91,18 @@ struct PipeMetrics {
 class Pipe {
  public:
   /// `on_exit` runs when the segment leaves the delay line; `on_drop` (may
-  /// be empty) runs if the segment is lost at enqueue.
+  /// be empty) runs if the segment is lost at enqueue. When `defer_delay`
+  /// is set, the fixed delay stage is not simulated here: the pipe adds its
+  /// configured delay to `*defer_delay` and runs `on_exit` as soon as the
+  /// bandwidth stage completes. The parallel engine uses this on source-side
+  /// pipes so the cross-shard handoff timestamp carries the delay — that is
+  /// what makes the inter-host latency usable as conservative lookahead.
   struct Segment {
     DataSize size;
     FlowId flow = 0;
     std::function<void()> on_exit;
     std::function<void()> on_drop;
+    Duration* defer_delay = nullptr;
   };
 
   Pipe(sim::Simulation& sim, PipeConfig config, Rng rng);

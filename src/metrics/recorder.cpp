@@ -10,7 +10,7 @@ namespace p2plab::metrics {
 
 namespace {
 
-FlightRecorder* g_active = nullptr;
+thread_local FlightRecorder* g_active = nullptr;
 
 void crash_dump() {
   FlightRecorder* rec = g_active;
@@ -90,25 +90,54 @@ std::string FlightRecorder::escape_json(std::string_view s) {
   return out;
 }
 
+std::string FlightRecorder::render_line(const Event& ev) {
+  char num[64];
+  std::string out = "{\"t\":";
+  std::snprintf(num, sizeof num, "%.9f", ev.t.to_seconds());
+  out += num;
+  out += ",\"subsystem\":\"";
+  out += escape_json(ev.subsystem);
+  out += "\",\"kind\":\"";
+  out += escape_json(ev.kind);
+  out += '"';
+  for (const TraceField& f : ev.fields) {
+    out += ",\"";
+    out += escape_json(f.key);
+    out += "\":";
+    if (f.numeric) {
+      std::snprintf(num, sizeof num, "%.10g", f.num);
+      out += num;
+    } else {
+      out += '"';
+      out += escape_json(f.str);
+      out += '"';
+    }
+  }
+  out += '}';
+  return out;
+}
+
 void FlightRecorder::flush(std::FILE* out) const {
   const std::size_t held = size();
   const std::size_t start = total_ > buf_.size() ? next_ : 0;
   for (std::size_t i = 0; i < held; ++i) {
     const Event& ev = buf_[(start + i) % buf_.size()];
-    std::fprintf(out, "{\"t\":%.9f,\"subsystem\":\"%s\",\"kind\":\"%s\"",
-                 ev.t.to_seconds(), escape_json(ev.subsystem).c_str(),
-                 escape_json(ev.kind).c_str());
-    for (const TraceField& f : ev.fields) {
-      if (f.numeric) {
-        std::fprintf(out, ",\"%s\":%.10g", escape_json(f.key).c_str(),
-                     f.num);
-      } else {
-        std::fprintf(out, ",\"%s\":\"%s\"", escape_json(f.key).c_str(),
-                     escape_json(f.str).c_str());
-      }
-    }
-    std::fputs("}\n", out);
+    std::fputs(render_line(ev).c_str(), out);
+    std::fputc('\n', out);
   }
+}
+
+std::vector<FlightRecorder::RenderedEvent> FlightRecorder::rendered_events()
+    const {
+  std::vector<RenderedEvent> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  const std::size_t start = total_ > buf_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    const Event& ev = buf_[(start + i) % buf_.size()];
+    out.push_back(RenderedEvent{ev.t, render_line(ev)});
+  }
+  return out;
 }
 
 bool FlightRecorder::flush_to_results(const char* filename) const {

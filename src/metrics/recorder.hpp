@@ -66,8 +66,22 @@ class FlightRecorder {
   /// unset or the file cannot be written.
   bool flush_to_results(const char* filename = "trace.jsonl") const;
 
-  /// The process-wide active recorder used by P2PLAB_TRACE and dumped on
-  /// assertion failure (to trace.jsonl, or stderr without a results dir).
+  /// One held event rendered to the exact bytes flush() would write for it
+  /// (sans trailing newline), paired with its timestamp as a sort key.
+  struct RenderedEvent {
+    SimTime t;
+    std::string line;
+  };
+  /// Render held events, oldest first. The parallel engine merges the
+  /// per-shard rings into one time-sorted trace from these; because the
+  /// bytes match flush(), the merged file of K shards is byte-identical to
+  /// a single recorder's flush when no ring dropped events.
+  std::vector<RenderedEvent> rendered_events() const;
+
+  /// The active recorder used by P2PLAB_TRACE and dumped on assertion
+  /// failure (to trace.jsonl, or stderr without a results dir). Thread
+  /// local: each parallel-engine worker activates its shard's recorder for
+  /// the duration of the run, so recording never crosses threads.
   /// Pass nullptr to deactivate; destruction deactivates automatically.
   static void set_active(FlightRecorder* recorder);
   static FlightRecorder* active();
@@ -82,6 +96,8 @@ class FlightRecorder {
     std::string kind;
     std::vector<TraceField> fields;
   };
+
+  static std::string render_line(const Event& ev);
 
   std::vector<Event> buf_;
   std::size_t next_ = 0;   // slot the next record lands in

@@ -6,9 +6,11 @@
 // storage, so an increment is a single non-atomic store — the simulation
 // kernel is single-threaded, and a 10^8-event run cannot afford more.
 //
-// Default-constructed handles point at shared no-op sink cells, so an
-// uninstrumented subsystem (unit tests, library users that never bind a
-// registry) pays the same single store and needs no branches.
+// Default-constructed handles are null and no-ops, so an uninstrumented
+// subsystem (unit tests, library users that never bind a registry) pays
+// one perfectly predicted branch. The null check — rather than a shared
+// sink cell — keeps unbound handles safe on the parallel engine's shard
+// worker threads, where concurrent stores to one sink would be a race.
 //
 // Names are hierarchical dotted paths ("sim.events.dispatched",
 // "ipfw.pipe.bytes_in"). Resolving the same name twice returns a handle to
@@ -64,11 +66,11 @@ struct HistogramData {
 };
 
 namespace detail {
-inline std::uint64_t g_counter_sink = 0;
-inline double g_gauge_sink = 0.0;
-inline HistogramData& histogram_sink() {
-  static HistogramData sink{{}, std::vector<std::uint64_t>(1, 0), 0, 0, 0, 0};
-  return sink;
+inline const HistogramData& empty_histogram() {
+  static const HistogramData empty{{}, std::vector<std::uint64_t>(1, 0),
+                                   0,  0,
+                                   0,  0};
+  return empty;
 }
 }  // namespace detail
 
@@ -76,40 +78,50 @@ inline HistogramData& histogram_sink() {
 class Counter {
  public:
   Counter() = default;
-  void inc(std::uint64_t delta = 1) const { *cell_ += delta; }
-  std::uint64_t value() const { return *cell_; }
+  void inc(std::uint64_t delta = 1) const {
+    if (cell_ != nullptr) *cell_ += delta;
+  }
+  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
 
  private:
   friend class Registry;
   explicit Counter(std::uint64_t* cell) : cell_(cell) {}
-  std::uint64_t* cell_ = &detail::g_counter_sink;
+  std::uint64_t* cell_ = nullptr;
 };
 
 /// Point-in-time level (queue depth, utilization). set() is one store.
 class Gauge {
  public:
   Gauge() = default;
-  void set(double v) const { *cell_ = v; }
-  void add(double delta) const { *cell_ += delta; }
-  double value() const { return *cell_; }
+  void set(double v) const {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void add(double delta) const {
+    if (cell_ != nullptr) *cell_ += delta;
+  }
+  double value() const { return cell_ != nullptr ? *cell_ : 0.0; }
 
  private:
   friend class Registry;
   explicit Gauge(double* cell) : cell_(cell) {}
-  double* cell_ = &detail::g_gauge_sink;
+  double* cell_ = nullptr;
 };
 
 /// Fixed-bucket distribution. record() is a short linear bound scan.
 class Histogram {
  public:
-  Histogram() : cell_(&detail::histogram_sink()) {}
-  void record(double v) const { cell_->record(v); }
-  const HistogramData& data() const { return *cell_; }
+  Histogram() = default;
+  void record(double v) const {
+    if (cell_ != nullptr) cell_->record(v);
+  }
+  const HistogramData& data() const {
+    return cell_ != nullptr ? *cell_ : detail::empty_histogram();
+  }
 
  private:
   friend class Registry;
   explicit Histogram(HistogramData* cell) : cell_(cell) {}
-  HistogramData* cell_;
+  HistogramData* cell_ = nullptr;
 };
 
 /// Owns every metric cell. Iteration order (snapshot) is by name, so output
@@ -151,6 +163,13 @@ class Registry {
 
   /// Zero every value; registrations and handles stay valid.
   void reset();
+
+  /// Fold another registry's values into this one, additively: counters and
+  /// gauges add, histograms add bucket-wise (bounds must match) and merge
+  /// min/max. Metrics only present in `other` are created here. The
+  /// parallel engine keeps one registry per shard (single-writer, so the
+  /// non-atomic handles stay safe) and merges them once at end of run.
+  void merge_from(const Registry& other);
 
  private:
   struct Entry {

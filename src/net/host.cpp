@@ -8,11 +8,12 @@
 namespace p2plab::net {
 
 Host::Host(Network& network, std::string name, Ipv4Addr admin_ip,
-           HostConfig config, Rng rng)
+           HostConfig config, Rng rng, std::size_t global_index)
     : network_(network),
       name_(std::move(name)),
       admin_ip_(admin_ip),
       config_(config),
+      global_index_(global_index),
       firewall_(network.sim(), config.firewall, rng.fork(1)),
       nic_tx_(config.nic_bandwidth, config.nic_latency, config.nic_queue),
       nic_rx_(config.nic_bandwidth, config.nic_latency, config.nic_queue),

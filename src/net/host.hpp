@@ -9,6 +9,8 @@
 // memory usage, disk I/O") and found unproblematic at 80 vnodes/node.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,7 +39,7 @@ struct HostConfig {
 class Host {
  public:
   Host(Network& network, std::string name, Ipv4Addr admin_ip,
-       HostConfig config, Rng rng);
+       HostConfig config, Rng rng, std::size_t global_index);
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -45,6 +47,24 @@ class Host {
   const std::string& name() const { return name_; }
   Ipv4Addr admin_ip() const { return admin_ip_; }
   const HostConfig& config() const { return config_; }
+
+  /// Platform-wide host index, stable across shard partitionings: the
+  /// parallel engine keys rng streams, connection ids and cross-shard
+  /// merge order on it so a K-shard run replays the K=1 event sequence.
+  std::size_t global_index() const { return global_index_; }
+
+  /// Host-scoped connection id: the host index in the high bits keeps ids
+  /// unique platform-wide without any cross-shard counter. Uniqueness is
+  /// load-bearing beyond determinism — conn ids seed both the RST
+  /// stale-connection check and the DRR flow identity inside shared pipes.
+  std::uint64_t next_conn_id() {
+    return ((static_cast<std::uint64_t>(global_index_) + 1) << 32) |
+           ++conn_seq_;
+  }
+
+  /// Per-source-host sequence for cross-shard packets; with the timestamp
+  /// and host index it forms the engine's total merge order.
+  std::uint64_t next_fabric_seq() { return ++fabric_seq_; }
 
   ipfw::Firewall& firewall() { return firewall_; }
   const ipfw::Firewall& firewall() const { return firewall_; }
@@ -72,12 +92,15 @@ class Host {
   std::string name_;
   Ipv4Addr admin_ip_;
   HostConfig config_;
+  std::size_t global_index_;
   ipfw::Firewall firewall_;
   LinkServer nic_tx_;
   LinkServer nic_rx_;
   std::vector<Ipv4Addr> aliases_;
   SimTime cpu_busy_until_;
   Duration cpu_consumed_ = Duration::zero();
+  std::uint64_t conn_seq_ = 0;
+  std::uint64_t fabric_seq_ = 0;
 };
 
 }  // namespace p2plab::net

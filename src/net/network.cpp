@@ -11,12 +11,22 @@ Network::Network(sim::Simulation& sim, Rng rng, NetworkConfig config)
     : sim_(sim), rng_(rng), config_(config) {}
 
 Host& Network::add_host(std::string name, Ipv4Addr admin_ip,
-                        HostConfig config) {
+                        HostConfig config, std::size_t global_index) {
+  if (global_index == kAutoIndex) global_index = hosts_.size();
+  // The rng stream is forked from the *global* index: a host gets the same
+  // randomness (firewall pipes, loss draws) no matter which shard's Network
+  // it is built into, which the engine's determinism guarantee relies on.
   hosts_.push_back(std::make_unique<Host>(*this, std::move(name), admin_ip,
-                                          config,
-                                          rng_.fork(hosts_.size() + 100)));
+                                          config, rng_.fork(global_index + 100),
+                                          global_index));
   if (bound_reg_ != nullptr) hosts_.back()->firewall().bind_metrics(*bound_reg_);
   return *hosts_.back();
+}
+
+void Network::set_socket_demux(std::function<void(Packet&&)> demux) {
+  P2PLAB_ASSERT_MSG(!socket_demux_ || !demux,
+                    "a socket demux is already installed on this network");
+  socket_demux_ = std::move(demux);
 }
 
 void Network::bind_metrics(metrics::Registry& reg) {
@@ -69,15 +79,32 @@ void Network::send(Packet packet) {
     metrics_.packets_unroutable.inc();
     return;
   }
+  if (handoff_ != nullptr) {
+    // Engine mode. Loopback (both endpoints on this host) stays entirely
+    // local; every other packet takes the deferred-delay handoff path —
+    // even when the destination is on this same shard, so that the event
+    // sequence does not depend on how hosts were partitioned into shards.
+    // Destination routability is checked on the destination shard (its
+    // address table cannot be read from here without a race); a withdrawn
+    // address therefore still costs the source its pipe bandwidth, which is
+    // also what a real NIC would do.
+    Host* local_dst = host_of(packet.dst);
+    const bool loopback = local_dst == src;
+    leave_source(std::make_shared<Packet>(std::move(packet)), *src,
+                 /*defer=*/!loopback);
+    return;
+  }
   if (host_of(packet.dst) == nullptr) {
     ++stats_.packets_unroutable;
     metrics_.packets_unroutable.inc();
     return;
   }
-  leave_source(std::make_shared<Packet>(std::move(packet)), *src);
+  leave_source(std::make_shared<Packet>(std::move(packet)), *src,
+               /*defer=*/false);
 }
 
-void Network::leave_source(std::shared_ptr<Packet> packet, Host& src) {
+void Network::leave_source(std::shared_ptr<Packet> packet, Host& src,
+                           bool defer) {
   const auto match = src.firewall().classify(packet->src, packet->dst,
                                              ipfw::RuleDir::kOut);
   if (match.denied) {
@@ -88,27 +115,89 @@ void Network::leave_source(std::shared_ptr<Packet> packet, Host& src) {
   // Firewall scan + stack processing are CPU work on the source host.
   const Duration cpu_delay = src.charge_cpu(src.firewall().scan_cost(match) +
                                             src.config().packet_cpu_cost);
-  auto continue_path = [this, packet, &src, pipes = match.pipes]() mutable {
-    pass_pipes(packet, src.firewall(), std::move(pipes), 0,
-               [this, packet, &src] {
-                 Host* dst = host_of(packet->dst);
-                 if (dst == nullptr) {  // address vanished mid-flight
-                   ++stats_.packets_unroutable;
-                   metrics_.packets_unroutable.inc();
-                   return;
-                 }
-                 if (dst == &src) {
-                   // Loopback / co-located vnodes: skip NIC and switch.
-                   arrive_at_destination(packet, *dst);
-                 } else {
-                   traverse_fabric(packet, src, *dst);
-                 }
-               });
+  auto continue_path = [this, packet, &src, pipes = match.pipes,
+                        defer]() mutable {
+    std::function<void()> done;
+    if (defer) {
+      done = [this, packet, &src] { handoff_exit(packet, src); };
+    } else {
+      done = [this, packet, &src] {
+        Host* dst = host_of(packet->dst);
+        if (dst == nullptr) {  // address vanished mid-flight
+          ++stats_.packets_unroutable;
+          metrics_.packets_unroutable.inc();
+          return;
+        }
+        if (dst == &src) {
+          // Loopback / co-located vnodes: skip NIC and switch.
+          arrive_at_destination(packet, *dst);
+        } else {
+          traverse_fabric(packet, src, *dst);
+        }
+      };
+    }
+    pass_pipes(packet, src.firewall(), std::move(pipes), 0, std::move(done),
+               defer);
   };
   if (cpu_delay == Duration::zero()) {
     continue_path();
   } else {
     sim_.schedule_after(cpu_delay, std::move(continue_path));
+  }
+}
+
+void Network::handoff_exit(std::shared_ptr<Packet> packet, Host& src) {
+  // The bandwidth stage of the source pipes just completed; the fixed
+  // delays they deferred ride in packet->deferred_delay. Reserve the source
+  // NIC now (its contention is source-shard state) and fold tx + switch
+  // into the stamp; the destination shard reserves its own NIC-rx at the
+  // stamp. The deferred access-link delay (>= the topology's minimum) is
+  // exactly the engine's lookahead: the stamp always lands at or beyond the
+  // end of the window being executed.
+  const SimTime now = sim_.now();
+  const auto tx_delay = src.nic_tx().transmit(now, packet->wire_size);
+  if (!tx_delay) {
+    ++stats_.packets_dropped_pipe;
+    metrics_.packets_dropped_pipe.inc();
+    return;
+  }
+  metrics_.nic_tx_bytes.inc(packet->wire_size.count_bytes());
+  P2PLAB_ASSERT_MSG(packet->socket_demux,
+                    "the parallel engine carries socket traffic only: an "
+                    "on_deliver closure could capture source-shard state");
+  const SimTime stamp =
+      now + packet->deferred_delay + *tx_delay + config_.switch_latency;
+  if (!handoff_->push(src.global_index(), src.next_fabric_seq(), stamp,
+                      std::move(*packet))) {
+    // No shard ever deployed the address (as opposed to withdrawn).
+    ++stats_.packets_unroutable;
+    metrics_.packets_unroutable.inc();
+  }
+}
+
+void Network::fabric_arrive(Packet packet) {
+  Host* dst = host_of(packet.dst);
+  if (dst == nullptr) {
+    // Address withdrawn (crashed vnode) — discovered here, on the shard
+    // that owns the destination's routing state.
+    ++stats_.packets_unroutable;
+    metrics_.packets_unroutable.inc();
+    return;
+  }
+  const auto rx_delay = dst->nic_rx().transmit(sim_.now(), packet.wire_size);
+  if (!rx_delay) {
+    ++stats_.packets_dropped_pipe;
+    metrics_.packets_dropped_pipe.inc();
+    return;
+  }
+  metrics_.nic_rx_bytes.inc(packet.wire_size.count_bytes());
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  if (*rx_delay == Duration::zero()) {
+    arrive_at_destination(shared, *dst);
+  } else {
+    sim_.schedule_after(*rx_delay, [this, shared, dst] {
+      arrive_at_destination(shared, *dst);
+    });
   }
 }
 
@@ -152,7 +241,7 @@ void Network::arrive_at_destination(std::shared_ptr<Packet> packet,
                                             dst.config().packet_cpu_cost);
   auto continue_path = [this, packet, &dst, pipes = match.pipes]() mutable {
     pass_pipes(packet, dst.firewall(), std::move(pipes), 0,
-               [this, packet] { deliver(packet); });
+               [this, packet] { deliver(packet); }, /*defer=*/false);
   };
   if (cpu_delay == Duration::zero()) {
     continue_path();
@@ -166,7 +255,9 @@ void Network::deliver(std::shared_ptr<Packet> packet) {
   stats_.bytes_delivered += packet->wire_size.count_bytes();
   metrics_.packets_delivered.inc();
   metrics_.bytes_delivered.inc(packet->wire_size.count_bytes());
-  if (packet->on_deliver) {
+  if (packet->socket_demux && socket_demux_) {
+    socket_demux_(std::move(*packet));
+  } else if (packet->on_deliver) {
     auto cb = std::move(packet->on_deliver);
     cb(std::move(*packet));
   } else {
@@ -177,7 +268,7 @@ void Network::deliver(std::shared_ptr<Packet> packet) {
 
 void Network::pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
                          std::vector<ipfw::PipeId> pipes, size_t index,
-                         std::function<void()> done) {
+                         std::function<void()> done, bool defer) {
   if (index >= pipes.size()) {
     done();
     return;
@@ -188,15 +279,16 @@ void Network::pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
       .flow = packet->flow,
       .on_exit =
           [this, packet, &fw, pipes = std::move(pipes), index,
-           done = std::move(done)]() mutable {
+           done = std::move(done), defer]() mutable {
             pass_pipes(packet, fw, std::move(pipes), index + 1,
-                       std::move(done));
+                       std::move(done), defer);
           },
       .on_drop =
           [this] {
             ++stats_.packets_dropped_pipe;
             metrics_.packets_dropped_pipe.inc();
-          }});
+          },
+      .defer_delay = defer ? &packet->deferred_delay : nullptr});
 }
 
 }  // namespace p2plab::net

@@ -61,6 +61,24 @@ struct NetMetrics {
   metrics::Counter cpu_charged_ns;  // host CPU work (stack + rule scans)
 };
 
+/// Cross-shard packet transport, implemented by the parallel engine
+/// (src/engine). When installed on a Network, every inter-host packet —
+/// same shard or not — leaves through push() with a precomputed arrival
+/// stamp (the instant the packet exits the switch toward the destination
+/// NIC), and re-enters the destination shard's Network via fabric_arrive().
+/// Routing all inter-host traffic through the same code path is what makes
+/// a K-shard run bit-identical to the 1-shard engine run.
+class FabricHandoff {
+ public:
+  virtual ~FabricHandoff() = default;
+  /// Hand a packet to the destination shard. `src_host` / `seq` establish
+  /// the deterministic merge order (stamp, src_host, seq). Returns false
+  /// if no shard ever deployed `packet.dst` (the address is unknown to the
+  /// whole platform, not merely withdrawn).
+  virtual bool push(std::size_t src_host, std::uint64_t seq, SimTime stamp,
+                    Packet packet) = 0;
+};
+
 class Network {
  public:
   Network(sim::Simulation& sim, Rng rng, NetworkConfig config = {});
@@ -72,10 +90,16 @@ class Network {
   const NetworkConfig& config() const { return config_; }
   const NetworkStats& stats() const { return stats_; }
 
+  static constexpr std::size_t kAutoIndex = static_cast<std::size_t>(-1);
+
   /// Create a physical host. The admin address is registered immediately
   /// (the paper keeps "the main IP address of each physical system ... for
-  /// administration purposes").
-  Host& add_host(std::string name, Ipv4Addr admin_ip, HostConfig config = {});
+  /// administration purposes"). `global_index` is the platform-wide host
+  /// index (see Host::global_index); it defaults to this network's local
+  /// count, which is the right value whenever one Network spans the whole
+  /// platform (the legacy single-threaded mode and all unit tests).
+  Host& add_host(std::string name, Ipv4Addr admin_ip, HostConfig config = {},
+                 std::size_t global_index = kAutoIndex);
 
   size_t host_count() const { return hosts_.size(); }
   Host& host(size_t index) { return *hosts_.at(index); }
@@ -96,6 +120,26 @@ class Network {
   /// timeout, exactly like the real platform).
   void send(Packet packet);
 
+  // -- parallel-engine hooks ----------------------------------------------
+
+  /// Route every inter-host packet through `handoff` (engine mode). The
+  /// source-side pipes then defer their fixed delays into the packet
+  /// (Pipe::Segment::defer_delay) and the NIC-tx/switch hop is folded into
+  /// the handoff stamp; the destination side reserves its NIC-rx and runs
+  /// the inbound firewall on arrival. Engine mode requires socket_demux
+  /// traffic — an on_deliver closure could capture source-shard state.
+  void set_fabric_handoff(FabricHandoff* handoff) { handoff_ = handoff; }
+  bool engine_mode() const { return handoff_ != nullptr; }
+
+  /// Destination entry point for handed-off packets; the engine schedules
+  /// this at the packet's stamp on the owning shard's simulation.
+  void fabric_arrive(Packet packet);
+
+  /// Deliver packets flagged socket_demux through this callback (installed
+  /// by the shard's SocketManager; per-shard, so delivery never touches
+  /// another shard's port table).
+  void set_socket_demux(std::function<void(Packet&&)> demux);
+
   /// Resolve "net.*" handles from `reg` and bind the firewall of every
   /// host, present and future ("ipfw.*" aggregates across hosts).
   void bind_metrics(metrics::Registry& reg);
@@ -104,16 +148,19 @@ class Network {
   friend class Host;
   void register_address(Ipv4Addr addr, Host* host);
 
-  // Path stages.
-  void leave_source(std::shared_ptr<Packet> packet, Host& src);
+  // Path stages. `defer` selects the engine discipline for inter-host
+  // packets: source pipes accumulate their fixed delay into the packet and
+  // the path ends in handoff_exit instead of traverse_fabric.
+  void leave_source(std::shared_ptr<Packet> packet, Host& src, bool defer);
   void traverse_fabric(std::shared_ptr<Packet> packet, Host& src, Host& dst);
+  void handoff_exit(std::shared_ptr<Packet> packet, Host& src);
   void arrive_at_destination(std::shared_ptr<Packet> packet, Host& dst);
   void deliver(std::shared_ptr<Packet> packet);
 
   /// Run the packet through `pipes` of `fw` in order, then `done`.
   void pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
                   std::vector<ipfw::PipeId> pipes, size_t index,
-                  std::function<void()> done);
+                  std::function<void()> done, bool defer);
 
   sim::Simulation& sim_;
   Rng rng_;
@@ -121,6 +168,8 @@ class Network {
   NetworkStats stats_;
   NetMetrics metrics_;
   metrics::Registry* bound_reg_ = nullptr;  // for hosts added after binding
+  FabricHandoff* handoff_ = nullptr;
+  std::function<void(Packet&&)> socket_demux_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unordered_map<std::uint32_t, Host*> by_address_;
 };

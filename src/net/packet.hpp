@@ -51,6 +51,19 @@ struct Packet {
   /// full emulated path. Not invoked for dropped packets.
   std::function<void(Packet&&)> on_deliver;
 
+  /// Deliver through the destination network's registered socket demux
+  /// instead of `on_deliver`. The sockets layer sets this: a closure would
+  /// capture the *source* host's socket manager, which under the parallel
+  /// engine may live on another shard — the flag makes delivery resolve
+  /// against destination-shard state only.
+  bool socket_demux = false;
+
+  /// Fixed pipe delay accumulated but not yet served (parallel engine
+  /// only). Source-side pipes defer their config delay into the packet so
+  /// the cross-shard handoff stamp carries it; it is spent when the
+  /// destination shard schedules the arrival. Zero on the legacy path.
+  Duration deferred_delay = Duration::zero();
+
   /// Stamped by Network::send; used for RTT estimation and diagnostics.
   SimTime sent_at;
 };

@@ -3,19 +3,29 @@
 // A Simulation owns the virtual clock and a 4-ary-heap event queue. Events
 // are closures scheduled at absolute or relative times; ties dispatch in
 // scheduling order (FIFO), which the rest of the platform relies on for
-// determinism. Cancellation is lazy: a cancelled event stays in the heap
-// and is skipped at pop time, keeping cancel() O(1).
+// determinism.
 //
-// The kernel is single-threaded by design: a P2PLab experiment is one
-// logical timeline, and runs at the 5760-node scale push ~10^8 events, so
-// dispatch cost (one heap pop + one indirect call) dominates engineering
-// choices here.
+// Storage is split: callbacks live in a slab (stable slots, recycled via a
+// free list) and the heap orders compact 24-byte {when, seq, slot} entries.
+// That makes cancel() a true O(1) slab store (no scan, no heap surgery —
+// the entry is dropped lazily at pop time) and keeps sift swaps small: a
+// swap moves 24 bytes instead of a whole closure, which matters because
+// dispatch cost dominates 10^8-event runs.
+//
+// The kernel itself is single-threaded: one Simulation is one logical
+// timeline and must only ever be driven from one thread at a time. The
+// parallel engine (src/engine) runs K independent Simulations — one per
+// shard — and merges cross-shard traffic deterministically; see
+// engine/engine.hpp for the synchronization protocol, which uses
+// next_event_time() / advance_to() / run_before() to interleave a shard's
+// heap with its cross-shard ingress.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -35,8 +45,10 @@ class EventId {
 
  private:
   friend class Simulation;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  constexpr EventId(std::uint64_t seq, std::uint32_t slot)
+      : seq_(seq), slot_(slot) {}
   std::uint64_t seq_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 class Simulation {
@@ -53,11 +65,20 @@ class Simulation {
   EventId schedule_at(SimTime when, Callback cb) {
     P2PLAB_ASSERT_MSG(when >= now_, "cannot schedule into the past");
     const std::uint64_t seq = ++next_seq_;
-    heap_.push_back(Event{when, seq, std::move(cb), false});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back(Slot{seq, std::move(cb), false});
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slab_[slot] = Slot{seq, std::move(cb), false};
+    }
+    heap_.push_back(HeapEntry{when, seq, slot});
     sift_up(heap_.size() - 1);
     ++live_events_;
     metrics_.scheduled.inc();
-    return EventId{seq};
+    return EventId{seq, slot};
   }
 
   /// Schedule `cb` after a relative delay (>= 0).
@@ -65,26 +86,19 @@ class Simulation {
     return schedule_at(now_ + delay, std::move(cb));
   }
 
-  /// Cancel a pending event. Returns true if it was still pending. Safe to
-  /// call with an invalid/fired/already-cancelled id.
+  /// Cancel a pending event in O(1): the slab slot is flagged and the heap
+  /// entry is discarded when it reaches the top. Returns true if the event
+  /// was still pending. Safe to call with an invalid/fired/already-cancelled
+  /// id (slot recycling is disambiguated by the sequence number).
   bool cancel(EventId id) {
-    if (!id.valid()) return false;
-    // Lazy cancellation: find is O(n) in the worst case, so we instead keep
-    // a side index only when needed. In practice cancels target recently
-    // scheduled timers; we scan from the back where they usually live.
-    for (size_t i = heap_.size(); i-- > 0;) {
-      if (heap_[i].seq == id.seq_) {
-        if (heap_[i].cancelled) return false;
-        heap_[i].cancelled = true;
-        heap_[i].cb = nullptr;  // release captures promptly
-        --live_events_;
-        metrics_.cancelled.inc();
-        metrics_.cancel_scan.record(static_cast<double>(heap_.size() - i));
-        return true;
-      }
-    }
-    metrics_.cancel_scan.record(static_cast<double>(heap_.size()));
-    return false;
+    if (!id.valid() || id.slot_ >= slab_.size()) return false;
+    Slot& s = slab_[id.slot_];
+    if (s.seq != id.seq_ || s.cancelled) return false;
+    s.cancelled = true;
+    s.cb = nullptr;  // release captures promptly
+    --live_events_;
+    metrics_.cancelled.inc();
+    return true;
   }
 
   /// Number of pending (non-cancelled) events.
@@ -93,14 +107,38 @@ class Simulation {
   /// Total events dispatched so far.
   std::uint64_t dispatched_events() const { return dispatched_; }
 
+  /// Time of the next pending event, skipping cancelled entries; nullopt if
+  /// the queue is empty.
+  std::optional<SimTime> next_event_time() {
+    prune_cancelled_top();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.front().when;
+  }
+
+  /// Advance the clock without running events. Used by the parallel engine
+  /// to move a quiescent shard to a window boundary (and by tests); all
+  /// pending events must lie at or after `t`.
+  void advance_to(SimTime t) {
+    P2PLAB_ASSERT_MSG(t >= now_, "cannot advance the clock backwards");
+    now_ = t;
+  }
+
   /// Run one event. Returns false if the queue is empty.
   bool step() {
     for (;;) {
       if (heap_.empty()) return false;
-      Event ev = pop_top();
-      if (ev.cancelled) continue;
-      P2PLAB_ASSERT(ev.when >= now_);
-      now_ = ev.when;
+      const HeapEntry top = pop_top();
+      Slot& s = slab_[top.slot];
+      if (s.cancelled) {
+        free_slots_.push_back(top.slot);
+        continue;
+      }
+      P2PLAB_ASSERT(top.when >= now_);
+      now_ = top.when;
+      Callback cb = std::move(s.cb);
+      s.cb = nullptr;
+      s.cancelled = true;  // slot is dead until recycled
+      free_slots_.push_back(top.slot);
       --live_events_;
       ++dispatched_;
       metrics_.dispatched.inc();
@@ -111,13 +149,13 @@ class Simulation {
         // stays representative while the two clock reads are amortized to
         // noise on the 10^8-event hot path.
         const auto t0 = std::chrono::steady_clock::now();
-        ev.cb();
+        cb();
         const auto t1 = std::chrono::steady_clock::now();
         metrics_.dispatch_ns.record(static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                 .count()));
       } else {
-        ev.cb();
+        cb();
       }
       return true;
     }
@@ -133,13 +171,21 @@ class Simulation {
   /// min(deadline, time of last event). Events at exactly `deadline` run.
   void run_until(SimTime deadline) {
     for (;;) {
-      // Skip cancelled entries to expose the real next event time.
-      while (!heap_.empty() && heap_.front().cancelled) pop_top();
-      if (heap_.empty()) break;
-      if (heap_.front().when > deadline) break;
+      const auto next = next_event_time();
+      if (!next || *next > deadline) break;
       step();
     }
     if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Run events strictly before `end`; the clock is NOT advanced to `end`
+  /// (the parallel engine owns window-boundary clock advancement).
+  void run_before(SimTime end) {
+    for (;;) {
+      const auto next = next_event_time();
+      if (!next || *next >= end) break;
+      step();
+    }
   }
 
   /// Run while `predicate()` is true and events remain.
@@ -159,8 +205,6 @@ class Simulation {
     metrics_.dispatched = reg.counter("sim.events.dispatched");
     metrics_.cancelled = reg.counter("sim.events.cancelled");
     metrics_.queue_depth = reg.gauge("sim.queue.depth");
-    metrics_.cancel_scan = reg.histogram(
-        "sim.cancel.scan_len", {1, 4, 16, 64, 256, 1024, 4096, 16384});
     metrics_.dispatch_ns = reg.histogram(
         "sim.dispatch.wall_ns",
         {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000});
@@ -168,13 +212,20 @@ class Simulation {
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+  /// Slab cell: the closure plus the seq that disambiguates slot reuse.
+  struct Slot {
+    std::uint64_t seq = 0;
     Callback cb;
     bool cancelled = false;
+  };
 
-    bool before(const Event& other) const {
+  /// Compact heap entry; ordering key only, so sift swaps stay cheap.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+    std::uint32_t slot = 0;
+
+    bool before(const HeapEntry& other) const {
       if (when != other.when) return when < other.when;
       return seq < other.seq;
     }
@@ -209,13 +260,20 @@ class Simulation {
     }
   }
 
-  Event pop_top() {
+  HeapEntry pop_top() {
     P2PLAB_ASSERT(!heap_.empty());
-    Event top = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
     return top;
+  }
+
+  /// Drop cancelled entries off the heap top so front() is a live event.
+  void prune_cancelled_top() {
+    while (!heap_.empty() && slab_[heap_.front().slot].cancelled) {
+      free_slots_.push_back(pop_top().slot);
+    }
   }
 
   // Kernel instrumentation. Default handles write to no-op sinks, so an
@@ -225,7 +283,6 @@ class Simulation {
     metrics::Counter dispatched;
     metrics::Counter cancelled;
     metrics::Gauge queue_depth;
-    metrics::Histogram cancel_scan;
     metrics::Histogram dispatch_ns;
   };
   static constexpr std::uint64_t kDispatchSamplePeriod = 64;
@@ -234,7 +291,9 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   size_t live_events_ = 0;
-  std::vector<Event> heap_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
   KernelMetrics metrics_;
   bool profile_dispatch_ = false;
 };

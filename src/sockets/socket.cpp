@@ -14,7 +14,12 @@ namespace p2plab::sockets {
 SocketManager::SocketManager(net::Network& network,
                              vnode::Interceptor interceptor,
                              StreamConfig config)
-    : network_(network), interceptor_(interceptor), config_(config) {}
+    : network_(network), interceptor_(interceptor), config_(config) {
+  network_.set_socket_demux(
+      [this](net::Packet&& packet) { dispatch(std::move(packet)); });
+}
+
+SocketManager::~SocketManager() { network_.set_socket_demux(nullptr); }
 
 void SocketManager::bind_metrics(metrics::Registry& reg) {
   metrics_.connects_started = reg.counter("sockets.connects_started");
@@ -100,20 +105,24 @@ void SocketManager::send_rst(const net::Packet& original) {
   rst.flow = original.conn | (std::uint64_t{1} << 63);
   rst.kind = net::PacketKind::kRst;
   rst.conn = original.conn;
-  rst.on_deliver = [this](net::Packet&& p) { dispatch(std::move(p)); };
+  rst.socket_demux = true;
   network_.send(std::move(rst));
 }
 
 void SocketManager::abort_endpoints_of(Ipv4Addr addr) {
   // Aborting unbinds (mutating endpoints_); collect the victims first.
-  std::vector<Endpoint*> victims;
+  // Sorted by key: the sweep order must not depend on unordered_map
+  // iteration order, which varies with the table's insertion history (the
+  // parallel engine replays the same crashes under different shardings).
+  std::vector<std::pair<std::uint64_t, Endpoint*>> victims;
   for (const auto& [k, endpoint] : endpoints_) {
     // key layout: address in the high bits (see key()).
     if (static_cast<std::uint32_t>(k >> 17) == addr.to_u32()) {
-      victims.push_back(endpoint);
+      victims.emplace_back(k, endpoint);
     }
   }
-  for (Endpoint* endpoint : victims) {
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [k, endpoint] : victims) {
     metrics_.crash_aborts.inc();
     endpoint->abort_for_crash();
   }
@@ -136,7 +145,7 @@ void StreamSocket::start_connect(
   local_port_ = local_port;
   remote_ip_ = remote;
   remote_port_ = remote_port;
-  conn_id_ = mgr_.next_conn_id();
+  conn_id_ = host_.next_conn_id();
   on_connected_ = std::move(on_connected);
   on_connect_fail_ = std::move(on_fail);
   state_ = State::kSynSent;
@@ -262,9 +271,7 @@ void StreamSocket::transmit_data(std::uint64_t seq, const Message& message) {
   packet.conn = conn_id_;
   packet.seq = seq;
   packet.body = std::make_shared<Message>(message);
-  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
-    mgr->dispatch(std::move(p));
-  };
+  packet.socket_demux = true;
   mgr_.network().send(std::move(packet));
 }
 
@@ -284,9 +291,7 @@ void StreamSocket::send_control(net::PacketKind kind, std::uint64_t seq,
   packet.kind = kind;
   packet.conn = conn_id_;
   packet.seq = seq;
-  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
-    mgr->dispatch(std::move(p));
-  };
+  packet.socket_demux = true;
   mgr_.network().send(std::move(packet));
 }
 
@@ -608,7 +613,14 @@ void Listener::abort_for_crash() {
   on_accept_ = nullptr;
   auto conns = std::move(conns_);
   conns_.clear();
-  for (auto& [key, socket] : conns) socket->abort_for_crash();
+  // Sorted sweep: abort order must not depend on hash-table history (see
+  // SocketManager::abort_endpoints_of).
+  std::vector<std::pair<std::uint64_t, StreamSocketPtr>> victims(
+      std::make_move_iterator(conns.begin()),
+      std::make_move_iterator(conns.end()));
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [key, socket] : victims) socket->abort_for_crash();
   if (bound_) {
     mgr_.unbind_endpoint(local_ip_, local_port_);
     bound_ = false;
@@ -688,7 +700,7 @@ DatagramSocket::DatagramSocket(SocketManager& mgr, net::Host& host,
       host_(host),
       local_ip_(ip),
       local_port_(port),
-      flow_(mgr.next_conn_id()) {
+      flow_(host.next_conn_id()) {
   mgr_.bind_endpoint(local_ip_, local_port_, this, Proto::kUdp);
 }
 
@@ -717,9 +729,7 @@ void DatagramSocket::send_to(Ipv4Addr remote, std::uint16_t remote_port,
   packet.flow = flow_;
   packet.kind = net::PacketKind::kDatagram;
   packet.body = std::make_shared<Message>(std::move(message));
-  packet.on_deliver = [mgr = &mgr_](net::Packet&& p) {
-    mgr->dispatch(std::move(p));
-  };
+  packet.socket_demux = true;
   mgr_.network().send(std::move(packet));
 }
 

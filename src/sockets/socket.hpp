@@ -92,8 +92,12 @@ class SocketManager {
     virtual void abort_for_crash() = 0;
   };
 
+  /// Construction installs this manager as the network's socket demux:
+  /// packets flagged socket_demux deliver through dispatch(). One manager
+  /// per network (per shard under the parallel engine).
   SocketManager(net::Network& network, vnode::Interceptor interceptor = {},
                 StreamConfig config = {});
+  ~SocketManager();
 
   SocketManager(const SocketManager&) = delete;
   SocketManager& operator=(const SocketManager&) = delete;
@@ -103,7 +107,6 @@ class SocketManager {
   const vnode::Interceptor& interceptor() const { return interceptor_; }
   const StreamConfig& stream_config() const { return config_; }
 
-  std::uint64_t next_conn_id() { return ++conn_counter_; }
   std::uint16_t alloc_ephemeral_port(Ipv4Addr addr, Proto proto = Proto::kTcp);
 
   void bind_endpoint(Ipv4Addr addr, std::uint16_t port, Endpoint* endpoint,
@@ -139,7 +142,6 @@ class SocketManager {
   vnode::Interceptor interceptor_;
   StreamConfig config_;
   SocketMetrics metrics_;
-  std::uint64_t conn_counter_ = 0;
   std::unordered_map<std::uint64_t, Endpoint*> endpoints_;
   std::unordered_map<std::uint64_t, std::uint16_t> next_ephemeral_;
 };

@@ -129,6 +129,14 @@ std::optional<Duration> Topology::inter_zone_latency(Ipv4Addr src,
   return best;
 }
 
+Duration Topology::min_access_latency() const {
+  Duration min = Duration::max();
+  for (const Zone& zone : zones_) {
+    if (zone.node_count > 0) min = std::min(min, zone.link.latency);
+  }
+  return min == Duration::max() ? Duration::zero() : min;
+}
+
 Topology homogeneous_dsl(std::size_t nodes, LinkClass link) {
   Topology topo;
   topo.add_zone("swarm", *CidrBlock::parse("10.0.0.0/16"), nodes, link);

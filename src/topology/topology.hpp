@@ -92,6 +92,12 @@ class Topology {
   /// compiled rule set will impose.
   std::optional<Duration> inter_zone_latency(Ipv4Addr src, Ipv4Addr dst) const;
 
+  /// Minimum access-link latency over all node zones: a lower bound on the
+  /// delay any inter-host packet pays at its source pipe, and therefore the
+  /// parallel engine's lookahead (plus switch latency). Zero if the
+  /// topology has no nodes.
+  Duration min_access_latency() const;
+
  private:
   std::vector<Zone> zones_;
   std::vector<LatencyPair> latencies_;

@@ -1,0 +1,178 @@
+// Parallel-engine determinism and lifecycle tests.
+//
+// The engine's contract (engine/engine.hpp) is that the shard partition is
+// invisible: a K-shard run replays the 1-shard engine run bit for bit. The
+// golden-trace test drives the paper's Figure 8 scenario (BitTorrent swarm
+// on folded physical nodes; client count scaled down for CI, overridable
+// via P2PLAB_DETERMINISM_CLIENTS up to the full 160) under K = 1, 2, 4 and
+// requires byte-identical trace JSONL, identical completion times and an
+// identical dispatched-event count.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bittorrent/swarm.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "metrics/registry.hpp"
+
+namespace p2plab {
+namespace {
+
+SimTime at_sec(double s) { return SimTime::zero() + Duration::seconds(s); }
+
+std::size_t scenario_clients() {
+  if (const char* env = std::getenv("P2PLAB_DETERMINISM_CLIENTS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10;  // CI default; 160 reproduces Figure 8 at full scale
+}
+
+bt::SwarmConfig fig8_swarm(std::size_t clients) {
+  bt::SwarmConfig config;
+  config.file_size = DataSize::mib(1);
+  config.seeders = 2;
+  config.clients = clients;
+  config.start_interval = Duration::sec(2);
+  config.verify_hashes = true;
+  config.max_duration = Duration::sec(4000);
+  return config;
+}
+
+struct RunOutput {
+  std::vector<double> completion_sec;
+  std::vector<std::string> trace;
+  std::uint64_t dispatched = 0;
+  double merged_dispatched = 0;  // via the master registry (merge_from path)
+};
+
+RunOutput run_fig8(std::size_t shards, std::size_t clients) {
+  core::PlatformConfig pc;
+  pc.physical_nodes = 8;
+  pc.seed = 7;
+  pc.shards = shards;
+  const bt::SwarmConfig config = fig8_swarm(clients);
+  core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
+                          pc);
+  platform.enable_tracing(1 << 18);
+  metrics::Registry registry;
+  bt::Swarm swarm(platform, config);
+  swarm.bind_metrics(registry);
+  swarm.run();
+  EXPECT_TRUE(swarm.all_complete()) << shards << " shard(s)";
+  EXPECT_EQ(platform.trace_dropped(), 0u)
+      << "ring wrapped: the byte-identity guarantee needs a larger capacity";
+  RunOutput out;
+  out.completion_sec = swarm.completion_times_sec();
+  out.trace = platform.trace_lines();
+  out.dispatched = platform.dispatched_events();
+  out.merged_dispatched = registry.value("sim.events.dispatched");
+  return out;
+}
+
+TEST(EngineDeterminism, GoldenTraceIsShardCountInvariant) {
+  const std::size_t clients = scenario_clients();
+  const RunOutput golden = run_fig8(1, clients);
+  ASSERT_FALSE(golden.trace.empty());
+  ASSERT_EQ(golden.completion_sec.size(), clients);
+
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const RunOutput run = run_fig8(k, clients);
+    EXPECT_EQ(golden.completion_sec, run.completion_sec)
+        << "completion times diverged at K=" << k;
+    EXPECT_EQ(golden.dispatched, run.dispatched)
+        << "event counts diverged at K=" << k;
+    ASSERT_EQ(golden.trace.size(), run.trace.size())
+        << "trace lengths diverged at K=" << k;
+    for (std::size_t i = 0; i < golden.trace.size(); ++i) {
+      ASSERT_EQ(golden.trace[i], run.trace[i])
+          << "first trace divergence at K=" << k << ", line " << i;
+    }
+  }
+}
+
+TEST(EngineDeterminism, MergedRegistryMatchesAggregateCounters) {
+  const RunOutput run = run_fig8(4, 6);
+  EXPECT_GT(run.dispatched, 0u);
+  EXPECT_DOUBLE_EQ(run.merged_dispatched,
+                   static_cast<double>(run.dispatched));
+}
+
+TEST(EnginePlatform, DeadlineStopsOnTimeAndResumes) {
+  core::PlatformConfig pc;
+  pc.physical_nodes = 4;
+  pc.shards = 2;
+  const bt::SwarmConfig config = fig8_swarm(4);
+  core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
+                          pc);
+  bt::Swarm swarm(platform, config);
+
+  EXPECT_EQ(platform.run(at_sec(10)), core::Platform::RunResult::kDeadline);
+  EXPECT_EQ(platform.now(), at_sec(10));
+  EXPECT_FALSE(swarm.all_complete());
+
+  // The engine resumes exactly where it stopped: finishing from here must
+  // behave like one uninterrupted run.
+  swarm.run();
+  EXPECT_TRUE(swarm.all_complete());
+  EXPECT_GT(platform.now(), at_sec(10));
+}
+
+TEST(EnginePlatform, PredicateStopFiresOnCheckGrid) {
+  core::PlatformConfig pc;
+  pc.physical_nodes = 2;
+  pc.shards = 2;
+  const bt::SwarmConfig config = fig8_swarm(2);
+  core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
+                          pc);
+  bt::Swarm swarm(platform, config);
+  const auto result = platform.run(
+      at_sec(3600), [&platform] { return platform.now() >= at_sec(20); },
+      Duration::sec(5));
+  EXPECT_EQ(result, core::Platform::RunResult::kPredicate);
+  // Stopped at a multiple of the check interval, at or after the trigger.
+  EXPECT_GE(platform.now(), at_sec(20));
+  EXPECT_LT(platform.now(), at_sec(26));
+}
+
+TEST(EngineChurn, CrashAndRejoinAcrossShards) {
+  // A client on the last shard crashes and rejoins while the tracker lives
+  // on the first: the teardown (socket aborts, address withdrawal) happens
+  // on the victim's shard, and its peers discover the loss over the
+  // cross-shard fabric.
+  const bt::SwarmConfig config = fig8_swarm(6);  // 9 vnodes
+  core::PlatformConfig pc;
+  pc.physical_nodes = 3;
+  pc.shards = 3;
+  core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
+                          pc);
+  bt::Swarm swarm(platform, config);
+  const std::size_t first_client_vnode = 1 + config.seeders;
+  const std::size_t victim = config.clients - 1;  // last pnode, last shard
+  ASSERT_NE(platform.shard_of_pnode(
+                platform.pnode_of_vnode(first_client_vnode + victim)),
+            platform.shard_of_pnode(0));
+
+  fault::FaultPlan plan;
+  plan.crash_and_rejoin(first_client_vnode + victim, at_sec(25),
+                        Duration::sec(40));
+  fault::FaultInjector injector(platform, plan);
+  injector.set_node_hooks(fault::NodeHooks{
+      .on_crash = [&](std::size_t v) {
+        swarm.client(v - first_client_vnode).crash();
+      },
+      .on_leave = nullptr,
+      .on_rejoin = [&](std::size_t v) {
+        swarm.client(v - first_client_vnode).start();
+      }});
+  injector.arm();
+  swarm.run();
+  EXPECT_TRUE(swarm.all_complete());
+  EXPECT_EQ(injector.stats().unrecovered(), 0u);
+}
+
+}  // namespace
+}  // namespace p2plab
