@@ -15,26 +15,47 @@
 namespace p2plab::bench {
 
 /// Integer knob from the environment (experiment scaling overrides).
+/// A set-but-malformed or negative value is fatal (exit 2) — silently
+/// falling back to the default used to turn e.g. P2PLAB_CHURN_BASELINE=0
+/// into 1 and typos into full-scale runs. 0 is a valid value.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    const long parsed = std::atol(value);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "%s='%s' is not a non-negative integer\n", name,
+                 value);
+    std::exit(2);
   }
-  return fallback;
+  return static_cast<std::size_t>(parsed);
 }
 
 /// Shard count for the parallel engine: `--shards=N` on the command line,
-/// else P2PLAB_SHARDS, else 0 (the classic single-threaded path).
+/// else P2PLAB_SHARDS, else 0 (the classic single-threaded path). Any
+/// other argument, or an unparseable count, is fatal (exit 2) — flags
+/// must never be silently swallowed.
 inline std::size_t shards(int argc, char** argv) {
+  std::size_t result = env_size("P2PLAB_SHARDS", 0);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view prefix = "--shards=";
     if (arg.substr(0, prefix.size()) == prefix) {
-      const long parsed = std::atol(argv[i] + prefix.size());
-      if (parsed >= 0) return static_cast<std::size_t>(parsed);
+      const char* text = argv[i] + prefix.size();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(text, &end, 10);
+      if (end == text || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "bad shard count in '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      result = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (supported: --shards=N)\n",
+                   argv[i]);
+      std::exit(2);
     }
   }
-  return env_size("P2PLAB_SHARDS", 0);
+  return result;
 }
 
 /// Peak resident set size of this process, in bytes (ru_maxrss is KiB on

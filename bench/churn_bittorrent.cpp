@@ -1,59 +1,29 @@
 // Churn experiment: the Figure 8 swarm under node churn and faults.
 //
 // Runs the 160-client / 16 MB download twice with the same content seed:
-// once clean (the Figure 8 baseline) and once with a deterministic fault
-// plan — a configurable fraction of the clients crashes mid-download (half
-// rejoin after 30-120 s and resume, half depart for good), plus a tracker
-// outage and a couple of link faults for coverage. The run then checks the
-// robustness invariants this subsystem promises:
-//
-//   * every surviving leecher (never faulted, or crashed-and-rejoined)
-//     finishes the download despite the churn,
-//   * every injected fault has a matching recovery (stats.unrecovered()==0
-//     and the paired fault_injected/fault_recovered events in trace.jsonl),
-//   * nothing is wedged: once every client stops, the event queue drains
-//     to empty — no orphaned retransmit timers, no stuck periodic tasks.
-//
-// Exit status is nonzero if any invariant fails, so CI can gate on it.
+// once clean (the Figure 8 baseline) and once with the deterministic fault
+// plan of scenarios/churn.scn — a configurable fraction of the clients
+// crashes mid-download (half rejoin after 30-120 s and resume, half depart
+// for good), plus a tracker outage and a couple of link faults for
+// coverage. The runner checks the robustness invariants this subsystem
+// promises (survivors complete, faults pair with recoveries, the queue
+// drains once the applications stop) and the exit status is nonzero if
+// any fails, so CI can gate on it.
 //
 // Knobs: P2PLAB_CHURN_CLIENTS (default 160), P2PLAB_CHURN_PCT (default 30),
 // P2PLAB_CHURN_BASELINE=0 skips the clean reference run, --shards=N (or
 // P2PLAB_SHARDS=N) runs both passes on the parallel engine.
 #include <cstdio>
-#include <vector>
 
 #include "bench_env.hpp"
-#include "bittorrent/swarm.hpp"
-#include "fault/injector.hpp"
-#include "fault/plan.hpp"
-#include "metrics/health.hpp"
-#include "metrics/registry.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
 
 using namespace p2plab;
 
-namespace {
-
-double median_completion(bt::Swarm& swarm) {
-  metrics::Distribution d;
-  for (const double t : swarm.completion_times_sec()) d.add(t);
-  return d.count() > 0 ? d.median() : -1.0;
-}
-
-/// Drive the platform until the queue is empty (bounded): proves no wedged
-/// timers survive once the application layer stopped.
-bool drain_events(core::Platform& platform, Duration grace) {
-  return platform.run(platform.now() + grace) ==
-         core::Platform::RunResult::kDrained;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bench::banner("Churn", "160-client swarm under crash/rejoin churn");
-  bt::SwarmConfig config;
-  config.clients = bench::env_size("P2PLAB_CHURN_CLIENTS", 160);
+  const std::size_t clients = bench::env_size("P2PLAB_CHURN_CLIENTS", 160);
   const double churn_pct =
       static_cast<double>(bench::env_size("P2PLAB_CHURN_PCT", 30));
   const bool run_baseline =
@@ -61,154 +31,24 @@ int main(int argc, char** argv) {
   const std::size_t shards = bench::shards(argc, argv);
 
   int failures = 0;
-  auto check = [&](bool ok, const char* what) {
-    std::printf("# check %-46s %s\n", what, ok ? "ok" : "FAIL");
-    if (!ok) ++failures;
-  };
-
   double baseline_median = -1.0;
   if (run_baseline) {
-    core::Platform platform(
-        topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-        core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
-                             .shards = shards});
-    bt::Swarm swarm(platform, config);
-    swarm.run();
-    baseline_median = median_completion(swarm);
-    check(swarm.all_complete(), "baseline: all clients complete");
+    scenario::ScenarioSpec spec = scenario::catalog::churn_baseline(clients);
+    spec.engine.shards = shards;
+    scenario::ExperimentRunner baseline(std::move(spec));
+    baseline.setup();
+    baseline.execute();
+    baseline_median = baseline.median_completion_sec();
+    const bool ok = baseline.swarm().all_complete();
+    std::printf("# check %-46s %s\n", "baseline: all clients complete",
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
   }
 
-  // --- churn run -------------------------------------------------------
-  metrics::Registry registry;
-  core::Platform platform(
-      topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
-                           .shards = shards});
-  // Ring tracing works in both modes (one ring per shard in engine mode);
-  // the fault subsystem's paired injected/recovered events land here.
-  platform.enable_tracing();
-  bt::Swarm swarm(platform, config);
-  swarm.bind_metrics(registry);
-
-  // Client c lives on this vnode (Swarm's layout contract).
-  const std::size_t first_client_vnode = 1 + config.seeders;
-  auto client_of_vnode = [&](std::size_t vnode) -> bt::Client& {
-    return swarm.client(vnode - first_client_vnode);
-  };
-
-  // The fault plan: churn_pct% of the clients fail mid-download (the
-  // window covers the middle of the baseline's ~1500-2000 s run), half of
-  // them rejoining after 30-120 s. Plus a tracker outage (announce
-  // backoff + cached peers must carry the swarm) and link faults on two
-  // never-crashed clients for coverage.
-  Rng churn_rng = platform.rng().fork(0xfa017);
-  fault::ChurnConfig churn;
-  churn.first_node = first_client_vnode;
-  churn.last_node = first_client_vnode + config.clients - 1;
-  churn.fraction = churn_pct / 100.0;
-  churn.window_start = SimTime::zero() + Duration::sec(200);
-  churn.window_end = SimTime::zero() + Duration::sec(1200);
-  churn.rejoin_fraction = 0.5;
-  churn.rejoin_min = Duration::sec(30);
-  churn.rejoin_max = Duration::sec(120);
-  fault::FaultPlan plan = fault::FaultPlan::churn(churn, churn_rng);
-  plan.tracker_outage(SimTime::zero() + Duration::sec(400),
-                      Duration::sec(120));
-  plan.link_down(first_client_vnode, SimTime::zero() + Duration::sec(300),
-                 Duration::sec(20));
-  plan.burst_loss(first_client_vnode + 1,
-                  SimTime::zero() + Duration::sec(500), Duration::sec(60),
-                  ipfw::GilbertElliott{.p_good_to_bad = 0.02,
-                                       .p_bad_to_good = 0.3,
-                                       .loss_bad = 0.7});
-  plan.latency_spike(first_client_vnode + 2,
-                     SimTime::zero() + Duration::sec(600),
-                     Duration::ms(200), Duration::sec(60));
-  plan.sort();
-
-  // Which clients fail, and which of those come back.
-  std::vector<bool> faulted(config.clients, false);
-  std::vector<bool> rejoins(config.clients, false);
-  std::size_t crashes = 0;
-  for (const fault::FaultSpec& spec : plan.specs()) {
-    if (spec.kind != fault::FaultKind::kCrash &&
-        spec.kind != fault::FaultKind::kLeave) {
-      continue;
-    }
-    ++crashes;
-    faulted[spec.node - first_client_vnode] = true;
-    rejoins[spec.node - first_client_vnode] = spec.rejoin;
-  }
-  std::printf("# plan: %zu faults, %zu node failures (%.0f%% of %zu)\n",
-              plan.size(), crashes, churn_pct, config.clients);
-
-  fault::FaultInjector injector(platform, plan);
-  injector.bind_metrics(registry);
-  injector.set_node_hooks(fault::NodeHooks{
-      .on_crash = [&](std::size_t v) { client_of_vnode(v).crash(); },
-      .on_leave = [&](std::size_t v) { client_of_vnode(v).stop(); },
-      .on_rejoin = [&](std::size_t v) { client_of_vnode(v).start(); }});
-  injector.set_service_hooks(fault::ServiceHooks{
-      .on_tracker_outage = [&] { swarm.tracker().set_online(false); },
-      .on_tracker_restore = [&] { swarm.tracker().set_online(true); }});
-  injector.arm();
-
-  // The health monitor samples from inside one simulation: classic-only.
-  metrics::HealthMonitor monitor(
-      metrics::HealthMonitor::Options{.csv_name = "churn_metrics"});
-  if (!platform.engine_mode()) monitor.start(platform.sim(), registry);
-
-  // Run until every *surviving* leecher finished (permanent departures
-  // can't complete). Swarm::run would wait for all, so use a predicate.
-  std::size_t expected = 0;
-  for (std::size_t c = 0; c < config.clients; ++c) {
-    expected += !faulted[c] || rejoins[c];
-  }
-  auto count_survivors = [&] {
-    std::size_t done = 0;
-    for (std::size_t c = 0; c < config.clients; ++c) {
-      done += (!faulted[c] || rejoins[c]) && swarm.client(c).has_completed();
-    }
-    return done;
-  };
-  platform.run(SimTime::zero() + config.max_duration,
-               [&] { return count_survivors() == expected; },
-               Duration::sec(5));
-  const std::size_t survivors = count_survivors();
-  if (!platform.engine_mode()) monitor.stop();
-
-  check(survivors == expected, "churn: every surviving leecher completes");
-  std::printf("# survivors complete: %zu/%zu (of %zu clients)\n", survivors,
-              expected, config.clients);
-
-  // Recovery pairing: once every scheduled window closed, no fault may be
-  // left open (windows end by max_duration by construction).
-  check(injector.stats().unrecovered() == 0,
-        "every injected fault recovered");
-  std::printf("# faults: injected=%llu recovered=%llu\n",
-              static_cast<unsigned long long>(injector.stats().injected),
-              static_cast<unsigned long long>(injector.stats().recovered));
-
-  // Nothing wedged: stop the world and the event queue must drain — any
-  // surviving retransmit timer or periodic task would keep it non-empty.
-  for (std::size_t c = 0; c < config.clients; ++c) swarm.client(c).stop();
-  for (std::size_t s = 0; s < config.seeders; ++s) swarm.seeder(s).stop();
-  swarm.tracker().set_online(false);
-  check(drain_events(platform, Duration::sec(700)),
-        "event queue drains after stop (no wedged timers)");
-
-  metrics::CsvWriter summary("churn_summary",
-                             {"median_completion_s", "baseline_median_s",
-                              "failed_nodes", "rejoined_nodes",
-                              "faults_injected", "faults_recovered"});
-  std::size_t rejoined = 0;
-  for (std::size_t c = 0; c < config.clients; ++c) rejoined += rejoins[c];
-  summary.row({median_completion(swarm), baseline_median,
-               static_cast<double>(crashes),
-               static_cast<double>(rejoined),
-               static_cast<double>(injector.stats().injected),
-               static_cast<double>(injector.stats().recovered)});
-
-  platform.flush_trace_to_results("trace.jsonl");
+  scenario::ScenarioSpec spec = scenario::catalog::churn(clients, churn_pct);
+  spec.engine.shards = shards;
+  scenario::ExperimentRunner runner(std::move(spec));
+  runner.set_baseline_median(baseline_median);
+  failures += runner.run();
   return failures == 0 ? 0 : 1;
 }

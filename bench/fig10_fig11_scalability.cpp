@@ -3,107 +3,34 @@
 // per physical node — downloading the 16 MB file; clients start every
 // 0.25 s and seed after completion.
 //
-// Paper shape (Fig 10): the progress curves of the sampled clients
-// (numbers 50, 100, ..., 5750) rise together and "most clients finish
-// their downloads nearly at the same time"; (Fig 11) the completion count
-// over time is an S-curve ending at 5754 by ~2500 s.
-//
 // The full 5754-client run dispatches ~5x10^9 events (over an hour of
 // wall clock); the default reproduces the experiment at 1440 clients with
-// the same 32:1 folding ratio and 0.25 s start interval, which preserves
-// every shape criterion (~13 minutes). Set P2PLAB_FIG10_CLIENTS=5754 for
-// the full-scale run, or lower for a quick look.
+// the same 32:1 folding ratio, which preserves every shape criterion.
+// Set P2PLAB_FIG10_CLIENTS=5754 for the full-scale run.
 //
-// `--shards=N` (or P2PLAB_SHARDS=N) runs on the parallel engine with N
-// worker threads; the event stream is bit-identical to --shards=1. A
-// BENCH_fig10.json summary (events/sec, wall seconds, peak RSS, shard and
-// core count) lands in $P2PLAB_RESULTS_DIR for speedup comparisons.
-#include <cstdio>
-#include <thread>
+// Thin wrapper over scenarios/fig10.scn: the experiment is the catalog
+// spec, executed by the ExperimentRunner exactly as `p2plab_run` would.
+// `--shards=N` (or P2PLAB_SHARDS=N) runs on the parallel engine; the
+// event stream is bit-identical to --shards=1.
+#include <string>
 
 #include "bench_env.hpp"
-#include "bittorrent/swarm.hpp"
-#include "metrics/health.hpp"
-#include "metrics/registry.hpp"
-#include "metrics/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
 
 using namespace p2plab;
 
 int main(int argc, char** argv) {
-  bt::SwarmConfig config;
-  config.clients = bench::env_size("P2PLAB_FIG10_CLIENTS", 1440);
-  config.start_interval = Duration::millis(250);
-  config.max_duration = Duration::sec(30000);
-  const std::size_t shards = bench::shards(argc, argv);
-
-  bench::banner("Figures 10+11", "scalability: " +
-                                     std::to_string(config.clients) +
-                                     " clients at 32 vnodes per pnode, " +
-                                     (shards == 0
-                                          ? std::string("classic engine")
-                                          : std::to_string(shards) +
-                                                " shard(s)"));
-  const std::size_t vnodes = bt::swarm_vnodes(config);
-  const std::size_t pnodes = (vnodes + 31) / 32;  // the paper's 32:1
-  // Declared before the platform: teardown (client timers cancelling
-  // events) still increments bound kernel counters.
-  metrics::Registry registry;
-  core::Platform platform(
-      topology::homogeneous_dsl(vnodes),
-      core::PlatformConfig{.physical_nodes = pnodes, .shards = shards});
-  bt::Swarm swarm(platform, config);
-  swarm.bind_metrics(registry);
-  // The long run this harness exists for is exactly where the health
-  // heartbeat matters: progress is visible every ~10 wall seconds. The
-  // monitor samples from inside one simulation, so it is classic-only.
-  metrics::HealthMonitor monitor(
-      metrics::HealthMonitor::Options{.csv_name = "fig10_metrics"});
-  if (!platform.engine_mode()) monitor.start(platform.sim(), registry);
-  const bench::WallTimer timer;
-  swarm.run();
-  const double wall_seconds = timer.elapsed_seconds();
-  if (!platform.engine_mode()) {
-    monitor.stop();
-    monitor.print_report();
-  }
-  std::printf("# %zu/%zu clients complete at t=%.0f s; %llu events; "
-              "%zu pnodes x %zu vnodes\n",
-              swarm.completed_count(), swarm.client_count(),
-              platform.now().to_seconds(),
-              static_cast<unsigned long long>(platform.dispatched_events()),
-              pnodes, platform.folding_ratio());
-  const double events = static_cast<double>(platform.dispatched_events());
-  bench::write_bench_json(
-      "BENCH_fig10",
-      {{"clients", static_cast<double>(config.clients)},
-       {"shards", static_cast<double>(platform.shard_count())},
-       {"cores", static_cast<double>(std::thread::hardware_concurrency())},
-       {"events", events},
-       {"wall_seconds", wall_seconds},
-       {"events_per_second", wall_seconds > 0 ? events / wall_seconds : 0},
-       {"peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes())}});
-
-  // Figure 10: progress of the sampled clients (every 50th), resampled on
-  // a 10 s grid, in long format (client, time, pct).
-  metrics::CsvWriter fig10("fig10_sampled_progress",
-                           {"client", "time_s", "pct_done"});
-  fig10.comment("seed=" + std::to_string(config.content_seed));
-  const SimTime end = platform.now() + Duration::sec(10);
-  for (std::size_t c = 50; c <= swarm.client_count(); c += 50) {
-    const auto& series = swarm.client(c - 1).progress();
-    for (SimTime t = SimTime::zero(); t <= end; t += Duration::sec(10)) {
-      fig10.row({static_cast<double>(c), t.to_seconds(),
-                 series.value_at(t)});
-    }
-  }
-
-  // Figure 11: number of clients having completed over time.
-  metrics::CsvWriter fig11("fig11_completion_curve",
-                           {"time_s", "clients_complete"});
-  const auto curve = swarm.completion_curve();
-  for (const auto& [t, count] : curve.points()) {
-    fig11.row({t.to_seconds(), count});
-  }
-  fig11.comment("paper: S-curve; most of the swarm completes together");
-  return 0;
+  scenario::ScenarioSpec spec = scenario::catalog::fig10(
+      bench::env_size("P2PLAB_FIG10_CLIENTS", 1440));
+  spec.engine.shards = bench::shards(argc, argv);
+  bench::banner("Figures 10+11",
+                "scalability: " + std::to_string(spec.swarm.clients) +
+                    " clients at 32 vnodes per pnode, " +
+                    (spec.engine.shards == 0
+                         ? std::string("classic engine")
+                         : std::to_string(spec.engine.shards) +
+                               " shard(s)"));
+  scenario::ExperimentRunner runner(std::move(spec));
+  return runner.run();
 }

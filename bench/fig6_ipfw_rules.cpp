@@ -5,51 +5,17 @@
 // rules, because the rules are evaluated linearly by the firewall" —
 // roughly 5 ms RTT at 50,000 rules. Each packet crosses the padded rule
 // list twice (outgoing on the way there, incoming on the way back).
+//
+// Thin wrapper over scenarios/fig6.scn: the sweep lives in the catalog
+// spec, executed by the ExperimentRunner exactly as `p2plab_run` would.
 #include "bench_env.hpp"
-#include "core/platform.hpp"
-#include "metrics/health.hpp"
-#include "metrics/registry.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
 
 using namespace p2plab;
 
 int main() {
   bench::banner("Figure 6", "ping RTT vs number of firewall rules");
-  core::PlatformConfig pconfig{.physical_nodes = 2};
-  metrics::CsvWriter csv("fig6_ipfw_rules",
-                         {"rules", "rtt_avg_ms", "rtt_min_ms", "rtt_max_ms"});
-  csv.comment("seed=" + std::to_string(pconfig.seed));
-
-  // No health monitor here: its periodic task would keep Simulation::run
-  // (drain-until-empty) from ever returning. The registry report at the
-  // end still covers the kernel and firewall totals. Declared before the
-  // platform: teardown still increments bound counters.
-  metrics::Registry registry;
-  core::Platform platform(topology::homogeneous_dsl(2), pconfig);
-  platform.bind_metrics(registry);
-  const Ipv4Addr a = platform.network().host(0).admin_ip();
-  const Ipv4Addr b = platform.network().host(1).admin_ip();
-
-  std::uint32_t installed = 0;
-  std::uint32_t next_rule_number = 1000;
-  for (std::uint32_t rules = 0; rules <= 50000; rules += 5000) {
-    if (rules > installed) {
-      platform.network().host(0).firewall().add_filler_rules(
-          next_rule_number, rules - installed);
-      next_rule_number += rules - installed;
-      installed = rules;
-    }
-    metrics::Summary rtt;
-    for (int probe = 0; probe < 10; ++probe) {
-      platform.ping(a, b, [&](Duration d) { rtt.add(d.to_millis()); });
-      platform.sim().run();
-    }
-    csv.row({std::to_string(rules), std::to_string(rtt.mean()),
-             std::to_string(rtt.min()), std::to_string(rtt.max())});
-  }
-  csv.comment("paper: ~linear, reaching ~5 ms RTT at 50k rules "
-              "(2 traversals x 50 ns/rule)");
-  metrics::print_registry_report(registry);
-  return 0;
+  scenario::ExperimentRunner runner(scenario::catalog::fig6());
+  return runner.run();
 }

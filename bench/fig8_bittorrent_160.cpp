@@ -2,82 +2,23 @@
 // clients (4 initial seeders, DSL links: 2 Mb/s down / 128 kb/s up /
 // 30 ms, clients started 10 s apart, seeding after completion).
 //
-// Paper shape: all three phases of a BitTorrent download are visible —
-// (1) a short first phase where only the initial seeders upload,
-// (2) a long middle phase where downloaders feed each other,
-// (3) a final phase where early finishers seed and the tail accelerates —
-// and the completion times cluster.
-//
-// Output: the percent-done distribution across clients on a 10 s grid
-// (min/quartiles/max reproduce the visual envelope of the 160 curves),
-// plus each client's completion time.
+// Thin wrapper over scenarios/fig8.scn (kept for the P2PLAB_FIG8_CLIENTS
+// knob and CI muscle memory): the experiment itself is the catalog spec,
+// executed by the ExperimentRunner exactly as `p2plab_run` would.
 //
 // `--shards=N` (or P2PLAB_SHARDS=N) runs on the parallel engine; the event
 // stream — and therefore every output row — is bit-identical for any N.
 #include "bench_env.hpp"
-#include "bittorrent/swarm.hpp"
-#include "metrics/health.hpp"
-#include "metrics/registry.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
 
 using namespace p2plab;
 
 int main(int argc, char** argv) {
   bench::banner("Figure 8", "160-client download of a 16 MB file");
-  bt::SwarmConfig config;  // defaults are the paper's parameters
-  config.clients = bench::env_size("P2PLAB_FIG8_CLIENTS", 160);
-  const std::size_t shards = bench::shards(argc, argv);
-
-  // Declared before the platform: teardown (client timers cancelling
-  // events) still increments bound kernel counters.
-  metrics::Registry registry;
-  core::Platform platform(
-      topology::homogeneous_dsl(bt::swarm_vnodes(config)),
-      core::PlatformConfig{.physical_nodes = bt::swarm_vnodes(config),
-                           .shards = shards});
-  bt::Swarm swarm(platform, config);
-  swarm.bind_metrics(registry);
-  // The health monitor samples from inside one simulation: classic-only.
-  metrics::HealthMonitor monitor(
-      metrics::HealthMonitor::Options{.csv_name = "fig8_metrics"});
-  if (!platform.engine_mode()) monitor.start(platform.sim(), registry);
-  swarm.run();
-  if (!platform.engine_mode()) {
-    monitor.stop();
-    monitor.print_report();
-  }
-
-  metrics::CsvWriter envelope(
-      "fig8_progress_envelope",
-      {"time_s", "pct_min", "pct_p25", "pct_median", "pct_p75", "pct_max",
-       "clients_complete"});
-  envelope.comment("seed=" + std::to_string(config.content_seed));
-  const SimTime end = platform.now() + Duration::sec(10);
-  for (SimTime t = SimTime::zero(); t <= end; t += Duration::sec(10)) {
-    metrics::Distribution pct;
-    std::size_t complete = 0;
-    for (std::size_t i = 0; i < swarm.client_count(); ++i) {
-      pct.add(swarm.client(i).progress().value_at(t));
-      complete += swarm.client(i).has_completed() &&
-                  swarm.client(i).completion_time() <= t;
-    }
-    envelope.row({t.to_seconds(), pct.min(), pct.quantile(0.25),
-                  pct.median(), pct.quantile(0.75), pct.max(),
-                  static_cast<double>(complete)});
-  }
-
-  metrics::CsvWriter completions("fig8_completion_times",
-                                 {"client", "start_s", "completion_s"});
-  for (std::size_t i = 0; i < swarm.client_count(); ++i) {
-    completions.row(
-        {static_cast<double>(i),
-         static_cast<double>(i) * config.start_interval.to_seconds(),
-         swarm.client(i).has_completed()
-             ? swarm.client(i).completion_time().to_seconds()
-             : -1.0});
-  }
-  completions.comment(
-      "paper: three swarm phases visible; completions cluster ~1500-2000 s");
-  return 0;
+  scenario::ScenarioSpec spec =
+      scenario::catalog::fig8(bench::env_size("P2PLAB_FIG8_CLIENTS", 160));
+  spec.engine.shards = bench::shards(argc, argv);
+  scenario::ExperimentRunner runner(std::move(spec));
+  return runner.run();
 }

@@ -4,6 +4,12 @@
 // ("results are nearly identical ... even with 80 virtual nodes on each
 // physical node").
 //
+// Each fold is one catalog::fig9_fold spec run through the
+// ExperimentRunner; this harness only interposes the cross-fold pieces —
+// one flight recorder and one health timeline spanning all five runs
+// (rows tagged by the label column), the merged per-fold byte curves, and
+// the divergence metric.
+//
 // Output: one total-bytes-received column per folding ratio on a common
 // 10 s grid, plus the maximum relative divergence from the unfolded run.
 #include <algorithm>
@@ -12,26 +18,23 @@
 #include <vector>
 
 #include "bench_env.hpp"
-#include "bittorrent/swarm.hpp"
 #include "metrics/health.hpp"
 #include "metrics/recorder.hpp"
-#include "metrics/registry.hpp"
 #include "metrics/trace.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
 
 using namespace p2plab;
 
 int main() {
   bench::banner("Figure 9", "folding ratio: 1/10/20/40/80 vnodes per node");
-  bt::SwarmConfig config;
-  config.clients = bench::env_size("P2PLAB_FIG9_CLIENTS", 160);
-  // Physical node counts matching the paper's 160/16/8/4/2 deployments of
-  // the clients (tracker and seeders ride along).
-  const std::size_t vnodes = bt::swarm_vnodes(config);
+  const std::size_t clients = bench::env_size("P2PLAB_FIG9_CLIENTS", 160);
   const std::size_t foldings[] = {1, 10, 20, 40, 80};
 
   const Duration step = Duration::sec(10);
   std::vector<std::vector<double>> curves;
   SimTime longest_end = SimTime::zero();
+  std::uint64_t content_seed = 0;
 
   // Observability: low-rate trace events land in trace.jsonl; one health
   // timeline spans all folds (rows tagged by the label column).
@@ -44,21 +47,18 @@ int main() {
                   "net.nic.tx_bytes", "net.nic.rx_bytes"}});
 
   for (const std::size_t fold : foldings) {
-    const std::size_t pnodes = (config.clients / fold) + 1;
-    // The registry must outlive the platform: teardown (client timers
-    // cancelling events) still increments bound kernel counters.
-    metrics::Registry registry;
-    core::Platform platform(topology::homogeneous_dsl(vnodes),
-                            core::PlatformConfig{.physical_nodes = pnodes});
-    bt::Swarm swarm(platform, config);
-    swarm.bind_metrics(registry);
+    scenario::ExperimentRunner runner(
+        scenario::catalog::fig9_fold(clients, fold));
+    content_seed = runner.spec().swarm.content_seed;
+    runner.setup();
     monitor.set_label("fold=" + std::to_string(fold));
-    monitor.start(platform.sim(), registry);
-    swarm.run();
+    monitor.start(runner.platform().sim(), runner.registry());
+    runner.execute();
     monitor.stop();  // final sample; must precede platform destruction
+    core::Platform& platform = runner.platform();
     const SimTime end = platform.sim().now() + step;
     longest_end = std::max(longest_end, end);
-    curves.push_back(swarm.total_bytes_curve(step, longest_end));
+    curves.push_back(runner.swarm().total_bytes_curve(step, longest_end));
     // The paper: "we monitored the system load, the memory usage, and the
     // disk I/O on every physical node. None of them was a problem."
     double max_cpu = 0.0;
@@ -68,9 +68,10 @@ int main() {
     }
     std::printf("# folding %zux: %zu pnodes, done at %.0f s, %zu/%zu "
                 "complete, max host CPU %.1f%%\n",
-                fold, pnodes, platform.sim().now().to_seconds(),
-                swarm.completed_count(), swarm.client_count(),
-                100.0 * max_cpu);
+                fold, platform.physical_node_count(),
+                platform.sim().now().to_seconds(),
+                runner.swarm().completed_count(),
+                runner.swarm().client_count(), 100.0 * max_cpu);
     // End-of-run health report: sim-kernel throughput, ipfw scan totals and
     // the per-link byte counters, per fold.
     monitor.print_report();
@@ -81,7 +82,7 @@ int main() {
   metrics::CsvWriter csv("fig9_folding_ratio",
                          {"time_s", "bytes_fold1", "bytes_fold10",
                           "bytes_fold20", "bytes_fold40", "bytes_fold80"});
-  csv.comment("seed=" + std::to_string(config.content_seed));
+  csv.comment("seed=" + std::to_string(content_seed));
   const std::size_t n_points = static_cast<std::size_t>(
       longest_end.count_ns() / step.count_ns()) + 1;
   for (std::size_t i = 0; i < n_points; ++i) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke-run every shipped scenario through p2plab_run, on the classic
+# engine (shards=0) and the parallel engine (shards=2). A run fails the
+# matrix if it exits nonzero or if any output it declares (per
+# --print-outputs, which honors the same --set overrides) is missing or
+# empty. Client counts are overridden downward so the whole matrix stays
+# within a CI minute; the code paths exercised are the full ones.
+#
+# usage: scripts/scn_smoke.sh <path-to-p2plab_run> [scenarios-dir]
+set -euo pipefail
+
+RUN="${1:?usage: scn_smoke.sh <path-to-p2plab_run> [scenarios-dir]}"
+SCN_DIR="${2:-scenarios}"
+
+shopt -s nullglob
+scn_files=("$SCN_DIR"/*.scn)
+if [ "${#scn_files[@]}" -eq 0 ]; then
+  echo "FAIL: no .scn files in '$SCN_DIR'"
+  exit 1
+fi
+
+overrides_for() {
+  case "$1" in
+    fig6) echo "" ;;  # the rule sweep is already CI-sized
+    fig8) echo "--set workload.clients=16" ;;
+    fig10) echo "--set workload.clients=64" ;;
+    churn) echo "--set workload.clients=24" ;;
+    flashcrowd) echo "--set workload.clients=32" ;;
+    *) echo "--set workload.clients=16" ;;
+  esac
+}
+
+status=0
+for scn in "${scn_files[@]}"; do
+  base=$(basename "$scn" .scn)
+  read -ra extra <<< "$(overrides_for "$base")"
+  for shards in 0 2; do
+    out=$(mktemp -d)
+    echo "=== $base shards=$shards ==="
+    if ! P2PLAB_RESULTS_DIR="$out" \
+        "$RUN" "$scn" --set engine.shards="$shards" ${extra[@]+"${extra[@]}"} \
+        > "$out/stdout.log" 2>&1; then
+      echo "FAIL: $base shards=$shards exited nonzero"
+      tail -20 "$out/stdout.log"
+      status=1
+      continue
+    fi
+    while IFS= read -r f; do
+      if [ ! -s "$out/$f" ]; then
+        echo "FAIL: $base shards=$shards did not write declared output $f"
+        status=1
+      fi
+    done < <("$RUN" "$scn" --set engine.shards="$shards" \
+             ${extra[@]+"${extra[@]}"} --print-outputs)
+  done
+done
+exit $status

@@ -64,6 +64,11 @@ FaultPlan& FaultPlan::tracker_outage(SimTime at, Duration window) {
   return *this;
 }
 
+FaultPlan& FaultPlan::append(const FaultPlan& other) {
+  specs_.insert(specs_.end(), other.specs_.begin(), other.specs_.end());
+  return *this;
+}
+
 void FaultPlan::sort() {
   std::stable_sort(specs_.begin(), specs_.end(),
                    [](const FaultSpec& a, const FaultSpec& b) {
@@ -110,8 +115,6 @@ FaultPlan FaultPlan::churn(const ChurnConfig& config, Rng& rng) {
   return plan;
 }
 
-namespace {
-
 // Scenario files are written in human units: bare numbers are *seconds*
 // (unlike the topology DSL, where bare numbers are milliseconds — link
 // latencies live at the millisecond scale, fault schedules at seconds).
@@ -135,6 +138,8 @@ std::optional<Duration> parse_scenario_duration(std::string_view text) {
   if (end != owned.c_str() + owned.size() || value < 0) return std::nullopt;
   return Duration::seconds(value * to_seconds);
 }
+
+namespace {
 
 std::optional<double> parse_probability(std::string_view text) {
   if (text.empty()) return std::nullopt;

@@ -68,6 +68,11 @@ struct ChurnConfig {
 
 struct PlanParseResult;
 
+/// Parse a duration as fault/scenario files write them: bare numbers are
+/// *seconds* (30 == 30s), with ms/us/s suffixes accepted. Exposed so the
+/// scenario DSL (src/scenario) agrees with the .fault format byte for byte.
+std::optional<Duration> parse_scenario_duration(std::string_view text);
+
 class FaultPlan {
  public:
   // Builder API — each call appends one spec and returns *this.
@@ -84,6 +89,10 @@ class FaultPlan {
   const std::vector<FaultSpec>& specs() const { return specs_; }
   std::size_t size() const { return specs_.size(); }
   bool empty() const { return specs_.empty(); }
+
+  /// Append every spec of `other` (used to combine an explicit plan with a
+  /// generated churn schedule). Call sort() afterwards.
+  FaultPlan& append(const FaultPlan& other);
 
   /// Time-order the specs (stable: equal-time faults keep insertion order,
   /// matching the sim kernel's FIFO tie-break). The injector calls this.

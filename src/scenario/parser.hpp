@@ -1,0 +1,80 @@
+// The scenario DSL: one file per experiment.
+//
+// A `.scn` file opens with `scenario <name>` and then holds up to five
+// bracketed sections; '#' starts a comment anywhere, values with spaces are
+// double-quoted. Grammar (DESIGN.md §10 documents every key):
+//
+//   scenario fig8
+//
+//   [topology]            # optional; default: auto (homogeneous DSL)
+//   auto [down=2M up=128k latency=30ms loss=0]
+//   # ... or `include <file.topo>`, or inline topology DSL directives
+//   # (zone/container/latency — see topology/parser.hpp)
+//
+//   [workload]
+//   type swarm            # or ping_sweep
+//   clients 160           # swarm: seeders, file_size, piece_length,
+//   start_interval 10     # start_interval, content_seed, verify_hashes,
+//                         # max_duration; ping_sweep: nodes, rules_max,
+//                         # rules_step, probes
+//
+//   [faults]              # optional; `include <file.fault>`, inline fault
+//   crash node=5 at=30    # directives (fault/plan.hpp), and/or one
+//   churn fraction=0.3 window=200..1200 rejoin=0.5   # generated schedule
+//
+//   [engine]
+//   shards 0              # physical_nodes N|auto, fold K, seed,
+//   stop all_complete     # survivors_complete | time (+ run_for),
+//   check_invariants off  # trace on|off
+//
+//   [outputs]             # every key names a file in $P2PLAB_RESULTS_DIR
+//   progress_envelope fig8_progress_envelope
+//   completions fig8_completion_times
+//   bench_json BENCH_fig8
+//
+// Durations follow the fault-file convention (bare numbers are seconds);
+// sizes take k/M/G (KiB/MiB/GiB) suffixes; bandwidths and link latencies in
+// `auto`/inline topology lines follow the topology DSL convention.
+//
+// `--set section.key=value` overrides (the p2plab_run flags) replace the
+// matching entry after the file is read; errors they cause are reported
+// against the override, not a file line.
+//
+// Errors carry the line number of the offending directive; errors inside
+// inline [topology]/[faults] blocks keep the enclosing file's numbering,
+// and errors inside an `include`d file are prefixed with the including
+// line and path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace p2plab::scenario {
+
+struct ParseResult {
+  std::optional<ScenarioSpec> spec;  // nullopt on error
+  std::string error;                 // human-readable, with line number
+};
+
+struct ParseOptions {
+  /// Directory `include` paths are resolved against ("" = cwd).
+  std::string base_dir;
+  /// "section.key=value" overrides, applied after the file is read.
+  std::vector<std::string> overrides;
+};
+
+ParseResult parse_scenario(std::string_view text,
+                           const ParseOptions& options = {});
+
+/// Read and parse `path`; includes resolve against its directory.
+ParseResult parse_scenario_file(const std::string& path,
+                                const std::vector<std::string>& overrides = {});
+
+/// Building blocks, exposed for reuse and tests.
+std::optional<DataSize> parse_data_size(std::string_view text);
+
+}  // namespace p2plab::scenario

@@ -1,0 +1,88 @@
+// The experiment runner: one ScenarioSpec in, one finished experiment out.
+//
+// ExperimentRunner owns everything a run needs — registry, platform, swarm
+// (or the ping sweep), fault injector, health monitor — wired in the exact
+// order the figure harnesses established (registry before platform so
+// teardown still counts; churn RNG forked after the swarm exists; the
+// monitor started last), so a spec-driven run is bit-identical to the
+// hand-written bench it replaced.
+//
+// Lifecycle: setup() builds the stack, execute() drives the run and writes
+// every declared output, run() does both and returns the process exit code
+// (nonzero iff an enabled invariant check failed). The split exists for
+// callers that interpose between construction and execution — fig9 runs
+// one external HealthMonitor across five runner instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bittorrent/swarm.hpp"
+#include "core/platform.hpp"
+#include "fault/injector.hpp"
+#include "metrics/health.hpp"
+#include "metrics/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace p2plab::scenario {
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ScenarioSpec spec);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Build the platform and the workload, arm the faults. Call once.
+  void setup();
+  /// Drive the run to its stop condition, evaluate the enabled invariant
+  /// checks and write every declared output. Returns the exit code:
+  /// 0, or 1 if any check failed. Requires setup().
+  int execute();
+  /// setup() + execute().
+  int run();
+
+  const ScenarioSpec& spec() const { return spec_; }
+  /// Valid after setup().
+  core::Platform& platform() { return *platform_; }
+  /// Valid after setup(), swarm workloads only.
+  bt::Swarm& swarm() { return *swarm_; }
+  metrics::Registry& registry() { return registry_; }
+
+  /// Median completion time (seconds) of the finished clients; -1 if none.
+  /// Valid after execute().
+  double median_completion_sec() const;
+  /// Reference median from a clean run, reported in the churn summary CSV
+  /// (-1 = no baseline was run).
+  void set_baseline_median(double median) { baseline_median_ = median; }
+
+ private:
+  void setup_swarm();
+  void setup_faults();
+  int execute_swarm();
+  int execute_ping();
+  void write_swarm_outputs(double wall_seconds);
+  void write_bench_json(double wall_seconds, double scale_field);
+
+  ScenarioSpec spec_;
+  // Declaration order is destruction-order-critical: the registry must
+  // outlive the platform (teardown increments bound counters), the
+  // platform must outlive swarm/injector/monitor users.
+  metrics::Registry registry_;
+  std::unique_ptr<core::Platform> platform_;
+  std::unique_ptr<bt::Swarm> swarm_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<metrics::HealthMonitor> monitor_;
+
+  std::size_t first_client_vnode_ = 0;
+  std::vector<bool> faulted_;   // per client: scheduled to crash or leave
+  std::vector<bool> rejoins_;   // per client: scheduled to come back
+  std::size_t node_failures_ = 0;
+  double baseline_median_ = -1.0;
+  SimTime end_of_run_;  // clock right after the stop condition (pre-drain)
+  bool set_up_ = false;
+};
+
+}  // namespace p2plab::scenario

@@ -1,0 +1,33 @@
+#include "scenario/spec.hpp"
+
+namespace p2plab::scenario {
+
+const char* workload_type_name(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kSwarm: return "swarm";
+    case WorkloadType::kPingSweep: return "ping_sweep";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ScenarioSpec::declared_outputs() const {
+  std::vector<std::string> files;
+  auto csv_file = [&](const std::string& csv_name) {
+    if (!csv_name.empty()) files.push_back(csv_name + ".csv");
+  };
+  csv_file(outputs.progress_envelope);
+  csv_file(outputs.completions);
+  csv_file(outputs.sampled_progress);
+  csv_file(outputs.completion_curve);
+  csv_file(outputs.summary);
+  csv_file(outputs.csv);
+  // The health monitor samples from inside one simulation: classic only.
+  if (effective_shards() == 0) csv_file(outputs.metrics);
+  if (!outputs.bench_json.empty()) {
+    files.push_back(outputs.bench_json + ".json");
+  }
+  if (!outputs.trace_file.empty()) files.push_back(outputs.trace_file);
+  return files;
+}
+
+}  // namespace p2plab::scenario

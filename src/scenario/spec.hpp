@@ -1,0 +1,167 @@
+// The unified experiment description.
+//
+// A ScenarioSpec is everything one experiment needs, in one value: the
+// emulated topology, the studied workload, the fault schedule, how the
+// engine runs it and which result files it writes. Specs come from two
+// equivalent sources — the `.scn` scenario DSL (parser.hpp), which is how
+// `p2plab_run` and the shipped `scenarios/*.scn` work, and plain C++
+// construction (catalog.hpp, the bench mains) — and are executed by the
+// ExperimentRunner (runner.hpp). LiteLab (arXiv:1311.7422) and Becker et
+// al. (arXiv:2208.05862) motivate the shape: a large-scale network
+// experiment should be cheap to vary and fully captured in one artifact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bittorrent/swarm.hpp"
+#include "common/time.hpp"
+#include "fault/plan.hpp"
+#include "topology/topology.hpp"
+
+namespace p2plab::scenario {
+
+/// Where the experiment's topology comes from.
+enum class TopologySource {
+  kAuto,    // homogeneous DSL zone sized to the workload (the default)
+  kInline,  // topology DSL directives, inline or `include`d from a file
+};
+
+struct TopologySection {
+  TopologySource source = TopologySource::kAuto;
+  /// kAuto: the access-link class of every node (paper DSL by default).
+  topology::LinkClass auto_link = topology::dsl_2m();
+  /// kInline: the parsed topology. Must fit the workload's node count.
+  std::optional<topology::Topology> built;
+};
+
+enum class WorkloadType {
+  kSwarm,      // the BitTorrent swarm experiments (Figs 8-11, churn)
+  kPingSweep,  // the firewall-rule RTT sweep (Fig 6)
+};
+
+const char* workload_type_name(WorkloadType type);
+
+/// Parameters of the kPingSweep workload: two (or more) nodes, rules padded
+/// onto node 0's firewall in `rules_step` increments up to `rules_max`,
+/// `probes` pings per step. Classic engine only (ping bypasses sockets).
+struct PingSweepParams {
+  std::size_t nodes = 2;
+  std::uint32_t rules_max = 50000;
+  std::uint32_t rules_step = 5000;
+  std::size_t probes = 10;
+};
+
+/// A `churn` directive: expanded into concrete FaultSpecs by the runner,
+/// which knows the swarm layout (default victim range = the client vnodes)
+/// and owns the platform RNG the schedule is forked from.
+struct ChurnDirective {
+  bool enabled = false;
+  double fraction = 0.3;
+  Duration window_start = Duration::zero();
+  Duration window_end = Duration::zero();
+  double rejoin_fraction = 0.5;
+  Duration rejoin_min = Duration::sec(30);
+  Duration rejoin_max = Duration::sec(120);
+  double leave_fraction = 0.0;
+  std::optional<std::size_t> first_node;  // default: first client vnode
+  std::optional<std::size_t> last_node;   // default: last client vnode
+  /// Stream id forked off the platform RNG; same spec + seed => same plan.
+  std::uint64_t rng_stream = 0xfa017;
+};
+
+struct FaultsSection {
+  /// Explicit faults (inline directives or an `include`d .fault file).
+  fault::FaultPlan plan;
+  ChurnDirective churn;
+  bool empty() const { return plan.empty() && !churn.enabled; }
+};
+
+/// When the run stops (before the workload's max_duration safety net).
+enum class StopMode {
+  kAllComplete,        // every client finished (Swarm::run semantics)
+  kSurvivorsComplete,  // every never-faulted or rejoined client finished
+  kTime,               // a fixed simulated duration (`run_for`)
+};
+
+struct EngineSection {
+  /// Parallel-engine shard count; 0 = classic single-threaded path.
+  std::size_t shards = 0;
+  /// Physical cluster size; unset = one physical node per virtual node.
+  std::optional<std::size_t> physical_nodes;
+  /// Alternative: fold K virtual nodes per physical node (ceil division).
+  /// Mutually exclusive with physical_nodes.
+  std::optional<std::size_t> fold;
+  std::uint64_t seed = 1;
+  StopMode stop = StopMode::kAllComplete;
+  Duration run_for = Duration::zero();  // kTime only
+  /// Churn-style robustness checks: survivors complete, faults pair with
+  /// recoveries, the event queue drains once the applications stop.
+  /// Failures make the run's exit code nonzero.
+  bool check_invariants = false;
+  /// Flight-recorder ring tracing (implied by outputs.trace_file).
+  bool trace = false;
+};
+
+struct OutputsSection {
+  /// Sampling grid of the time-series outputs.
+  Duration grid = Duration::sec(10);
+  // Swarm outputs (each empty string = not written).
+  std::string progress_envelope;  // min/quartile/max percent-done columns
+  std::string completions;        // per-client completion times
+  std::string completions_note;   // trailing '#' comment on completions
+  std::string sampled_progress;   // every sampled_every-th client's curve
+  std::size_t sampled_every = 50;
+  std::string completion_curve;   // (t, clients complete) steps
+  std::string completion_curve_note;
+  std::string summary;            // one-row churn/robustness summary
+  std::string metrics;     // health-monitor timeline (classic mode only)
+  std::string trace_file;  // flight-recorder JSONL flush
+  // Ping-sweep output.
+  std::string csv;
+  std::string csv_note;
+  // Cross-workload outputs.
+  std::string bench_json;  // standardized BENCH_*.json run summary
+  bool report = false;     // end-of-run registry report on stdout
+};
+
+struct ScenarioSpec {
+  std::string name;
+  TopologySection topology;
+  WorkloadType workload = WorkloadType::kSwarm;
+  bt::SwarmConfig swarm;
+  PingSweepParams ping;
+  FaultsSection faults;
+  EngineSection engine;
+  OutputsSection outputs;
+
+  /// Virtual nodes the workload occupies.
+  std::size_t vnodes() const {
+    return workload == WorkloadType::kSwarm ? bt::swarm_vnodes(swarm)
+                                            : ping.nodes;
+  }
+
+  /// Physical cluster size after resolving auto/fold.
+  std::size_t resolved_physical_nodes() const {
+    if (engine.physical_nodes) return *engine.physical_nodes;
+    if (engine.fold && *engine.fold > 0) {
+      return (vnodes() + *engine.fold - 1) / *engine.fold;
+    }
+    return vnodes();
+  }
+
+  /// Shards the run will actually use: the ping workload drives the
+  /// platform through Platform::ping + Simulation::run, which the engine
+  /// does not carry, so it always runs classic.
+  std::size_t effective_shards() const {
+    return workload == WorkloadType::kPingSweep ? 0 : engine.shards;
+  }
+
+  /// File names (with extensions) this run writes into
+  /// $P2PLAB_RESULTS_DIR — what the CI smoke matrix checks for.
+  std::vector<std::string> declared_outputs() const;
+};
+
+}  // namespace p2plab::scenario

@@ -1,0 +1,160 @@
+// Property test: HashClassifier is a drop-in replacement for
+// LinearClassifier. For randomized rule tables — host (/32) rules, group
+// rules, deny rules, direction qualifiers, duplicate rule numbers, and the
+// never-matching filler rules the Figure 6 sweep pads with — every probe
+// must produce the identical verdict and the identical pipe sequence.
+// Only rules_scanned may differ: that asymmetry IS the ablation.
+#include "ipfw/rule.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace p2plab::ipfw {
+namespace {
+
+// The address pool is deliberately tiny (4 groups x 8 hosts) so random
+// probes actually hit the random rules instead of falling through.
+Ipv4Addr random_host(Rng& rng) {
+  const std::uint32_t group = static_cast<std::uint32_t>(rng.uniform(4));
+  const std::uint32_t host = static_cast<std::uint32_t>(rng.uniform(8));
+  return *Ipv4Addr::parse("10." + std::to_string(group + 1) + ".0." +
+                          std::to_string(host + 1));
+}
+
+CidrBlock random_block(Rng& rng) {
+  switch (rng.uniform(3)) {
+    case 0:
+      return CidrBlock::any();
+    case 1:  // group-level /16
+      return CidrBlock{*Ipv4Addr::parse(
+                           "10." + std::to_string(rng.uniform(4) + 1) + ".0.0"),
+                       16};
+    default:  // host-level /32 — the bucket-indexed case
+      return CidrBlock{random_host(rng), 32};
+  }
+}
+
+std::vector<Rule> random_rules(Rng& rng, std::size_t count) {
+  std::vector<Rule> rules;
+  for (std::size_t i = 0; i < count; ++i) {
+    Rule r;
+    // Coarse numbers produce duplicates; ipfw keeps insertion order among
+    // equal numbers and both classifiers must honor it.
+    r.number = static_cast<std::uint32_t>(rng.uniform(8)) * 100;
+    r.src = random_block(rng);
+    r.dst = random_block(rng);
+    const std::uint64_t dir = rng.uniform(4);
+    r.dir = dir == 0 ? RuleDir::kIn : dir == 1 ? RuleDir::kOut : RuleDir::kAny;
+    const std::uint64_t action = rng.uniform(8);
+    if (action == 0) {
+      r.action = RuleAction::kDeny;
+    } else if (action == 1) {
+      r.action = RuleAction::kAllow;
+    } else {
+      r.action = RuleAction::kPipe;
+      r.pipe = static_cast<PipeId>(rng.uniform(16) + 1);
+    }
+    rules.push_back(r);
+  }
+  // Figure 6-style padding: never-matching host rules at the tail. The
+  // linear classifier scans them all; the hash classifier indexes them away.
+  const std::size_t fillers = rng.uniform(50);
+  for (std::size_t i = 0; i < fillers; ++i) {
+    rules.push_back(Rule{.number = 100000 + static_cast<std::uint32_t>(i),
+                         .src = CidrBlock{Ipv4Addr::from_u32(0xfffffffe), 32},
+                         .dst = CidrBlock::any(),
+                         .action = RuleAction::kDeny});
+  }
+  // Firewall::add_rule keeps the list sorted by number with ties in
+  // insertion order; replicate that contract for the bare classifiers.
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.number < b.number;
+                   });
+  return rules;
+}
+
+TEST(ClassifierEquivalence, RandomTablesIdenticalVerdictsAndPipes) {
+  Rng rng(20260806);
+  for (int table = 0; table < 40; ++table) {
+    const auto rules = random_rules(rng, 1 + rng.uniform(60));
+    LinearClassifier lin;
+    HashClassifier hash;
+    lin.rebuild(rules);
+    hash.rebuild(rules);
+    for (int probe = 0; probe < 50; ++probe) {
+      const Ipv4Addr src = random_host(rng);
+      const Ipv4Addr dst = random_host(rng);
+      const std::uint64_t d = rng.uniform(3);
+      const RuleDir pass =
+          d == 0 ? RuleDir::kIn : d == 1 ? RuleDir::kOut : RuleDir::kAny;
+      const MatchResult a = lin.classify(src, dst, pass);
+      const MatchResult b = hash.classify(src, dst, pass);
+      ASSERT_EQ(a.denied, b.denied)
+          << "table " << table << ": " << src.to_string() << " -> "
+          << dst.to_string();
+      ASSERT_EQ(a.pipes, b.pipes)
+          << "table " << table << ": " << src.to_string() << " -> "
+          << dst.to_string();
+    }
+  }
+}
+
+TEST(ClassifierEquivalence, EqualRuleNumbersKeepInsertionOrder) {
+  // Two pipe rules with the same number and the same host key: the packet
+  // must traverse the pipes in insertion order under both classifiers.
+  const CidrBlock host{*Ipv4Addr::parse("10.1.0.1"), 32};
+  const std::vector<Rule> rules = {
+      Rule{.number = 100, .src = host, .dst = CidrBlock::any(),
+           .action = RuleAction::kPipe, .pipe = 7},
+      Rule{.number = 100, .src = host, .dst = CidrBlock::any(),
+           .action = RuleAction::kPipe, .pipe = 3},
+  };
+  LinearClassifier lin;
+  HashClassifier hash;
+  lin.rebuild(rules);
+  hash.rebuild(rules);
+  const Ipv4Addr src = *Ipv4Addr::parse("10.1.0.1");
+  const Ipv4Addr dst = *Ipv4Addr::parse("10.2.0.1");
+  const MatchResult a = lin.classify(src, dst, RuleDir::kAny);
+  const MatchResult b = hash.classify(src, dst, RuleDir::kAny);
+  EXPECT_EQ(a.pipes, (std::vector<PipeId>{7, 3}));
+  EXPECT_EQ(b.pipes, a.pipes);
+}
+
+TEST(ClassifierEquivalence, FillerRulesOnlyChangeScanCount) {
+  // The exact Figure 6 setup: a real host rule plus thousands of filler
+  // rules. Verdict and pipes match; the scan counts must NOT (that gap is
+  // the whole point of the ablation).
+  std::vector<Rule> rules = {
+      Rule{.number = 10, .src = CidrBlock{*Ipv4Addr::parse("10.1.0.1"), 32},
+           .dst = CidrBlock::any(), .action = RuleAction::kPipe, .pipe = 1},
+  };
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    rules.push_back(Rule{.number = 1000 + i,
+                         .src = CidrBlock{Ipv4Addr::from_u32(0xfffffffe), 32},
+                         .dst = CidrBlock::any(),
+                         .action = RuleAction::kDeny});
+  }
+  LinearClassifier lin;
+  HashClassifier hash;
+  lin.rebuild(rules);
+  hash.rebuild(rules);
+  const Ipv4Addr src = *Ipv4Addr::parse("10.1.0.1");
+  const Ipv4Addr dst = *Ipv4Addr::parse("10.9.0.1");
+  const MatchResult a = lin.classify(src, dst, RuleDir::kAny);
+  const MatchResult b = hash.classify(src, dst, RuleDir::kAny);
+  EXPECT_EQ(a.pipes, b.pipes);
+  EXPECT_EQ(a.denied, b.denied);
+  EXPECT_EQ(a.rules_scanned, 5001u);  // walks every filler
+  EXPECT_LE(b.rules_scanned, 2u);     // indexed lookup
+}
+
+}  // namespace
+}  // namespace p2plab::ipfw

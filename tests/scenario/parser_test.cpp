@@ -1,0 +1,361 @@
+// Scenario-DSL parser tests: golden error messages (with line numbers —
+// the DSL's main UX surface), --set override semantics, unit parsing, and
+// the shipped-catalog equivalence guarantee: every scenarios/*.scn must
+// parse to exactly the spec its C++ catalog twin builds, so `p2plab_run`
+// and the bench binaries stay interchangeable.
+#include "scenario/parser.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/catalog.hpp"
+
+namespace p2plab::scenario {
+namespace {
+
+ScenarioSpec parse_ok(const std::string& text,
+                      const std::vector<std::string>& overrides = {}) {
+  ParseOptions options;
+  options.overrides = overrides;
+  ParseResult result = parse_scenario(text, options);
+  EXPECT_TRUE(result.spec) << result.error;
+  return result.spec ? *result.spec : ScenarioSpec{};
+}
+
+std::string parse_error(const std::string& text,
+                        const std::vector<std::string>& overrides = {}) {
+  ParseOptions options;
+  options.overrides = overrides;
+  ParseResult result = parse_scenario(text, options);
+  EXPECT_FALSE(result.spec) << "expected a parse error";
+  return result.error;
+}
+
+TEST(ScenarioParser, MinimalSwarmDefaults) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario tiny\n"
+      "[workload]\n"
+      "type swarm\n"
+      "clients 8\n");
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_EQ(spec.workload, WorkloadType::kSwarm);
+  EXPECT_EQ(spec.swarm.clients, 8u);
+  EXPECT_EQ(spec.swarm.seeders, 4u);  // SwarmConfig defaults survive
+  EXPECT_EQ(spec.swarm.file_size.count_bytes(), DataSize::mib(16).count_bytes());
+  EXPECT_EQ(spec.vnodes(), 13u);  // tracker + 4 seeders + 8 clients
+  EXPECT_EQ(spec.engine.shards, 0u);
+  EXPECT_TRUE(spec.faults.empty());
+  EXPECT_TRUE(spec.declared_outputs().empty());
+}
+
+TEST(ScenarioParser, CommentsBlankLinesAndQuotedValues) {
+  const ScenarioSpec spec = parse_ok(
+      "# a comment\n"
+      "scenario quoted\n"
+      "\n"
+      "[workload]\n"
+      "type swarm            # trailing comment\n"
+      "clients 4\n"
+      "[outputs]\n"
+      "completions done\n"
+      "completions_note \"a note, with spaces # not a comment\"\n");
+  EXPECT_EQ(spec.outputs.completions, "done");
+  EXPECT_EQ(spec.outputs.completions_note,
+            "a note, with spaces # not a comment");
+}
+
+TEST(ScenarioParser, SizesAndDurations) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario units\n"
+      "[workload]\n"
+      "type swarm\n"
+      "clients 4\n"
+      "file_size 4M\n"
+      "piece_length 64k\n"
+      "start_interval 250ms\n"
+      "max_duration 8000\n");
+  EXPECT_EQ(spec.swarm.file_size.count_bytes(), DataSize::mib(4).count_bytes());
+  EXPECT_EQ(spec.swarm.piece_length.count_bytes(),
+            DataSize::kib(64).count_bytes());
+  EXPECT_EQ(spec.swarm.start_interval, Duration::millis(250));
+  EXPECT_EQ(spec.swarm.max_duration, Duration::sec(8000));  // bare = seconds
+}
+
+TEST(ScenarioParser, ParseDataSizeUnits) {
+  EXPECT_EQ(parse_data_size("100")->count_bytes(), 100u);
+  EXPECT_EQ(parse_data_size("256k")->count_bytes(), 256u * 1024);
+  EXPECT_EQ(parse_data_size("256K")->count_bytes(), 256u * 1024);
+  EXPECT_EQ(parse_data_size("16M")->count_bytes(), 16u * 1024 * 1024);
+  EXPECT_EQ(parse_data_size("1G")->count_bytes(), 1024u * 1024 * 1024);
+  EXPECT_FALSE(parse_data_size("0"));    // sizes must be positive
+  EXPECT_FALSE(parse_data_size(""));
+  EXPECT_FALSE(parse_data_size("12T"));  // unknown suffix
+  EXPECT_FALSE(parse_data_size("bogus"));
+}
+
+// -- golden errors --------------------------------------------------------
+
+TEST(ScenarioParserErrors, SectionBeforeScenarioHeader) {
+  EXPECT_EQ(parse_error("[workload]\ntype swarm\n"),
+            "line 1: expected 'scenario <name>' before any section");
+}
+
+TEST(ScenarioParserErrors, UnknownSection) {
+  EXPECT_EQ(parse_error("scenario x\n[warp]\n"),
+            "line 2: unknown section [warp]");
+}
+
+TEST(ScenarioParserErrors, DuplicateSection) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\ntype swarm\n"
+                        "[engine]\n"
+                        "[workload]\n"),
+            "line 5: duplicate section [workload]");
+}
+
+TEST(ScenarioParserErrors, UnknownKeyWithLineNumber) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "clientz 5\n"),
+            "line 4: unknown key 'clientz' in [workload]");
+}
+
+TEST(ScenarioParserErrors, DuplicateKey) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "clients 5\n"
+                        "clients 6\n"),
+            "line 5: duplicate key 'clients' in [workload]");
+}
+
+TEST(ScenarioParserErrors, BadCountKeepsSourceLine) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "clients never\n"),
+            "line 4: bad count 'never' for clients");
+}
+
+TEST(ScenarioParserErrors, BadTopologyIncludePath) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[topology]\n"
+                        "include no/such/file.topo\n"),
+            "line 5: include 'no/such/file.topo': cannot read file");
+}
+
+TEST(ScenarioParserErrors, ConflictingTopologySources) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[topology]\n"
+                        "auto\n"
+                        "node n0 10.0.0.1\n"),
+            "line 5: [topology] cannot mix 'auto' with other topology "
+            "sources");
+}
+
+TEST(ScenarioParserErrors, ConflictingFaultSources) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[faults]\n"
+                        "include plan.fault\n"
+                        "linkdown node=5 at=300 for=20\n"),
+            "line 5: [faults] cannot mix 'include' with inline directives");
+}
+
+TEST(ScenarioParserErrors, ChurnNeedsWindow) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[faults]\n"
+                        "churn fraction=0.3\n"),
+            "line 5: churn needs window=START..END");
+}
+
+TEST(ScenarioParserErrors, StopTimeRequiresRunFor) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[engine]\n"
+                        "stop time\n"),
+            "line 5: stop=time requires run_for");
+}
+
+TEST(ScenarioParserErrors, FoldAndPhysicalNodesConflict) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[engine]\n"
+                        "physical_nodes 6\n"
+                        "fold 32\n"),
+            "line 6: fold and physical_nodes are mutually exclusive");
+}
+
+TEST(ScenarioParserErrors, PingKeyInSwarmWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "rules_max 1000\n"),
+            "line 4: key 'rules_max' is not valid for workload type swarm");
+}
+
+TEST(ScenarioParserErrors, SwarmOutputInPingWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type ping_sweep\n"
+                        "[outputs]\n"
+                        "completions done\n"),
+            "line 5: key 'completions' is not valid for workload type "
+            "ping_sweep");
+}
+
+TEST(ScenarioParserErrors, FaultsRequireSwarm) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type ping_sweep\n"
+                        "[faults]\n"
+                        "tracker_outage at=100 for=10\n"),
+            "line 5: [faults] requires workload type swarm");
+}
+
+TEST(ScenarioParserErrors, UnterminatedQuote) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[outputs]\n"
+                        "completions_note \"oops\n"),
+            "line 5: unterminated quote");
+}
+
+// -- --set overrides ------------------------------------------------------
+
+TEST(ScenarioParserOverrides, SetRewritesValue) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario x\n[workload]\ntype swarm\nclients 160\n",
+      {"workload.clients=8", "engine.shards=2"});
+  EXPECT_EQ(spec.swarm.clients, 8u);
+  EXPECT_EQ(spec.engine.shards, 2u);
+}
+
+TEST(ScenarioParserOverrides, MalformedSet) {
+  EXPECT_EQ(parse_error("scenario x\n[workload]\ntype swarm\n",
+                        {"workload.clients"}),
+            "--set workload.clients: expected section.key=value");
+}
+
+TEST(ScenarioParserOverrides, UnknownSectionInSet) {
+  EXPECT_EQ(parse_error("scenario x\n[workload]\ntype swarm\n",
+                        {"warp.speed=9"}),
+            "--set warp.speed=9: unknown section 'warp'");
+}
+
+TEST(ScenarioParserOverrides, UnknownKeyInSetKeepsSetSource) {
+  EXPECT_EQ(parse_error("scenario x\n[workload]\ntype swarm\n",
+                        {"workload.clientz=5"}),
+            "--set workload.clientz=5: unknown key 'clientz' in [workload]");
+}
+
+TEST(ScenarioParserOverrides, BadValueInSetKeepsSetSource) {
+  EXPECT_EQ(parse_error("scenario x\n[workload]\ntype swarm\n",
+                        {"workload.clients=lots"}),
+            "--set workload.clients=lots: bad count 'lots' for clients");
+}
+
+// -- shipped .scn <-> catalog equivalence ---------------------------------
+
+void expect_same_plan(const fault::FaultPlan& a, const fault::FaultPlan& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const fault::FaultSpec& x = a.specs()[i];
+    const fault::FaultSpec& y = b.specs()[i];
+    EXPECT_EQ(x.kind, y.kind) << "fault " << i;
+    EXPECT_EQ(x.node, y.node) << "fault " << i;
+    EXPECT_EQ(x.at, y.at) << "fault " << i;
+    EXPECT_EQ(x.duration, y.duration) << "fault " << i;
+    EXPECT_EQ(x.rejoin, y.rejoin) << "fault " << i;
+    EXPECT_EQ(x.extra_latency, y.extra_latency) << "fault " << i;
+  }
+}
+
+void expect_equivalent(const ScenarioSpec& parsed, const ScenarioSpec& built) {
+  EXPECT_EQ(parsed.name, built.name);
+  EXPECT_EQ(parsed.workload, built.workload);
+  EXPECT_EQ(parsed.swarm.clients, built.swarm.clients);
+  EXPECT_EQ(parsed.swarm.seeders, built.swarm.seeders);
+  EXPECT_EQ(parsed.swarm.file_size.count_bytes(),
+            built.swarm.file_size.count_bytes());
+  EXPECT_EQ(parsed.swarm.piece_length.count_bytes(),
+            built.swarm.piece_length.count_bytes());
+  EXPECT_EQ(parsed.swarm.start_interval, built.swarm.start_interval);
+  EXPECT_EQ(parsed.swarm.content_seed, built.swarm.content_seed);
+  EXPECT_EQ(parsed.swarm.max_duration, built.swarm.max_duration);
+  EXPECT_EQ(parsed.ping.nodes, built.ping.nodes);
+  EXPECT_EQ(parsed.ping.rules_max, built.ping.rules_max);
+  EXPECT_EQ(parsed.ping.rules_step, built.ping.rules_step);
+  EXPECT_EQ(parsed.ping.probes, built.ping.probes);
+  EXPECT_EQ(parsed.engine.shards, built.engine.shards);
+  EXPECT_EQ(parsed.engine.physical_nodes, built.engine.physical_nodes);
+  EXPECT_EQ(parsed.engine.fold, built.engine.fold);
+  EXPECT_EQ(parsed.engine.seed, built.engine.seed);
+  EXPECT_EQ(parsed.engine.stop, built.engine.stop);
+  EXPECT_EQ(parsed.engine.check_invariants, built.engine.check_invariants);
+  EXPECT_EQ(parsed.engine.trace, built.engine.trace);
+  EXPECT_EQ(parsed.resolved_physical_nodes(), built.resolved_physical_nodes());
+  EXPECT_EQ(parsed.faults.churn.enabled, built.faults.churn.enabled);
+  EXPECT_EQ(parsed.faults.churn.fraction, built.faults.churn.fraction);
+  EXPECT_EQ(parsed.faults.churn.window_start, built.faults.churn.window_start);
+  EXPECT_EQ(parsed.faults.churn.window_end, built.faults.churn.window_end);
+  EXPECT_EQ(parsed.faults.churn.rejoin_fraction,
+            built.faults.churn.rejoin_fraction);
+  EXPECT_EQ(parsed.faults.churn.rejoin_min, built.faults.churn.rejoin_min);
+  EXPECT_EQ(parsed.faults.churn.rejoin_max, built.faults.churn.rejoin_max);
+  EXPECT_EQ(parsed.faults.churn.rng_stream, built.faults.churn.rng_stream);
+  expect_same_plan(parsed.faults.plan, built.faults.plan);
+  EXPECT_EQ(parsed.declared_outputs(), built.declared_outputs());
+  EXPECT_EQ(parsed.outputs.completions_note, built.outputs.completions_note);
+  EXPECT_EQ(parsed.outputs.completion_curve_note,
+            built.outputs.completion_curve_note);
+  EXPECT_EQ(parsed.outputs.csv_note, built.outputs.csv_note);
+  EXPECT_EQ(parsed.outputs.sampled_every, built.outputs.sampled_every);
+  EXPECT_EQ(parsed.outputs.grid, built.outputs.grid);
+  EXPECT_EQ(parsed.outputs.report, built.outputs.report);
+}
+
+ScenarioSpec parse_shipped(const char* file) {
+  const std::string path =
+      std::string(P2PLAB_SOURCE_DIR) + "/scenarios/" + file;
+  ParseResult result = parse_scenario_file(path, {});
+  EXPECT_TRUE(result.spec) << path << ": " << result.error;
+  return result.spec ? *result.spec : ScenarioSpec{};
+}
+
+TEST(ShippedScenarios, Fig6MatchesCatalog) {
+  expect_equivalent(parse_shipped("fig6.scn"), catalog::fig6());
+}
+
+TEST(ShippedScenarios, Fig8MatchesCatalog) {
+  expect_equivalent(parse_shipped("fig8.scn"), catalog::fig8());
+}
+
+TEST(ShippedScenarios, Fig10MatchesCatalog) {
+  expect_equivalent(parse_shipped("fig10.scn"), catalog::fig10());
+}
+
+TEST(ShippedScenarios, ChurnMatchesCatalog) {
+  expect_equivalent(parse_shipped("churn.scn"), catalog::churn());
+}
+
+TEST(ShippedScenarios, FlashCrowdParses) {
+  const ScenarioSpec spec = parse_shipped("flashcrowd.scn");
+  expect_equivalent(spec, catalog::flash_crowd());
+}
+
+}  // namespace
+}  // namespace p2plab::scenario
