@@ -1,0 +1,282 @@
+// Hot-path allocation microbench: the headline number behind the
+// zero-allocation work (pooled packets + inline event callbacks).
+//
+// Two phases, both measured after a warmup so slabs, pools and pipe queues
+// are at steady-state capacity:
+//
+//   events:  self-rescheduling timer chains through the bare simulation
+//            kernel — isolates schedule/dispatch cost.
+//   packets: a ping-pong workload between two shaped hosts through the
+//            full emulated path (firewall scan, Dummynet pipes, NICs,
+//            switch, demux delivery) — the per-packet cost that bounds
+//            the paper's Figs 6/9/10 reproduction.
+//
+// Allocations are counted by interposing the global operator new/delete of
+// this binary (an atomic tick per call; works in every build type). The
+// steady-state claim is "allocations/event ~ 0 and the InlineCallback
+// heap-fallback counter stays flat over the measured window"; the gate
+// script (scripts/bench_gate.sh) enforces the events/sec floor against the
+// committed baseline.
+//
+// Output: CSV on stdout plus the standardized BENCH_hotpath.json (also
+// into $P2PLAB_RESULTS_DIR when set).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "bench_env.hpp"
+#include "common/ipv4.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/inline_callback.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Interposed allocation counter. Covers every operator-new form the
+// platform uses; deletes are forwarded untouched (the count of interest is
+// allocations, and free() of nullptr-safe storage needs no bookkeeping).
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace p2plab {
+namespace {
+
+Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
+
+struct PhaseResult {
+  double wall_seconds = 0.0;
+  std::uint64_t units = 0;     // events or packets
+  std::uint64_t events = 0;    // kernel events dispatched in the window
+  std::uint64_t allocs = 0;    // operator-new calls in the window
+  std::uint64_t fallbacks = 0;  // InlineCallback heap fallbacks in the window
+};
+
+/// Phase 1: raw kernel throughput. `chains` timers each reschedule
+/// themselves until `total` events have been dispatched.
+PhaseResult run_event_phase(std::uint64_t warmup, std::uint64_t total,
+                            std::size_t chains) {
+  sim::Simulation sim;
+  std::uint64_t fired = 0;
+  // Each event captures what the network layer's completion closures
+  // capture — a few pointers plus a handle-sized payload (~32 bytes).
+  // That is over std::function's small-object budget but well inside
+  // InlineCallback's, which is exactly the gap being measured.
+  struct Chain {
+    sim::Simulation* sim;
+    std::uint64_t* fired;
+    Duration period;
+    void arm() {
+      sim->schedule_after(period,
+                          [this, fired = fired, tick = std::uint64_t{0}] {
+                            ++*fired;
+                            (void)tick;
+                            arm();
+                          });
+    }
+  };
+  std::vector<Chain> all(chains);
+  for (std::size_t i = 0; i < chains; ++i) {
+    all[i] = Chain{&sim, &fired, Duration::us(10 + static_cast<int>(i))};
+    all[i].arm();
+  }
+  while (sim.dispatched_events() < warmup) sim.step();
+
+  const std::uint64_t alloc0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t events0 = sim.dispatched_events();
+  const std::uint64_t fb0 = sim::InlineCallback::heap_fallbacks();
+  bench::WallTimer timer;
+  while (sim.dispatched_events() < warmup + total) sim.step();
+  PhaseResult r;
+  r.wall_seconds = timer.elapsed_seconds();
+  r.events = sim.dispatched_events() - events0;
+  r.units = r.events;
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - alloc0;
+  r.fallbacks = sim::InlineCallback::heap_fallbacks() - fb0;
+  return r;
+}
+
+/// Phase 2: the full per-packet path. Two hosts with shaped access links
+/// ping-pong `inflight` packets; the demux response is the only
+/// application logic, so the measured cost is the emulated network itself.
+PhaseResult run_packet_phase(std::uint64_t warmup, std::uint64_t total,
+                             std::size_t inflight) {
+  sim::Simulation sim;
+  net::Network network{sim, Rng{42}};
+  const Ipv4Addr addr_a = ip("192.168.38.1");
+  const Ipv4Addr addr_b = ip("192.168.38.2");
+  net::Host& a = network.add_host("a", addr_a);
+  net::Host& b = network.add_host("b", addr_b);
+  // The paper's standard vnode access link: 100 ms / shaped bandwidth on
+  // both directions of both hosts, via pipe rules like core/platform.
+  for (net::Host* host : {&a, &b}) {
+    const CidrBlock self{host->admin_ip(), 32};
+    const ipfw::PipeId up = host->firewall().create_pipe(
+        {.bandwidth = Bandwidth::mbps(100), .delay = Duration::ms(1)});
+    const ipfw::PipeId down = host->firewall().create_pipe(
+        {.bandwidth = Bandwidth::mbps(100), .delay = Duration::ms(1)});
+    host->firewall().add_rule({.number = 100,
+                               .src = self,
+                               .dir = ipfw::RuleDir::kOut,
+                               .action = ipfw::RuleAction::kPipe,
+                               .pipe = up});
+    host->firewall().add_rule({.number = 110,
+                               .dst = self,
+                               .dir = ipfw::RuleDir::kIn,
+                               .action = ipfw::RuleAction::kPipe,
+                               .pipe = down});
+  }
+
+  std::uint64_t delivered = 0;
+  auto make_packet = [](Ipv4Addr src, Ipv4Addr dst, std::uint64_t flow) {
+    net::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.src_port = 7;
+    p.dst_port = 7;
+    p.wire_size = DataSize::bytes(1500);
+    p.flow = flow;
+    p.socket_demux = true;
+    return p;
+  };
+  // The demux is the steady-state driver: every delivery sends the reply.
+  network.set_socket_demux([&](net::Packet&& p) {
+    ++delivered;
+    network.send(make_packet(p.dst, p.src, p.flow));
+  });
+  for (std::size_t i = 0; i < inflight; ++i) {
+    network.send(make_packet(addr_a, addr_b, 1000 + i));
+  }
+
+  while (delivered < warmup && sim.step()) {
+  }
+  const std::uint64_t alloc0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t events0 = sim.dispatched_events();
+  const std::uint64_t delivered0 = delivered;
+  const std::uint64_t fb0 = sim::InlineCallback::heap_fallbacks();
+  bench::WallTimer timer;
+  while (delivered < delivered0 + total && sim.step()) {
+  }
+  PhaseResult r;
+  r.wall_seconds = timer.elapsed_seconds();
+  r.units = delivered - delivered0;
+  r.events = sim.dispatched_events() - events0;
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - alloc0;
+  r.fallbacks = sim::InlineCallback::heap_fallbacks() - fb0;
+  return r;
+}
+
+int run(int argc, char** argv) {
+  (void)bench::shards(argc, argv);  // accepted for interface parity; unused
+  const std::uint64_t event_total =
+      bench::env_size("P2PLAB_HOTPATH_EVENTS", 4'000'000);
+  const std::uint64_t packet_total =
+      bench::env_size("P2PLAB_HOTPATH_PACKETS", 400'000);
+
+  const PhaseResult ev =
+      run_event_phase(event_total / 10, event_total, /*chains=*/64);
+  const PhaseResult pk =
+      run_packet_phase(packet_total / 10, packet_total, /*inflight=*/64);
+
+  const double events_per_second =
+      ev.wall_seconds > 0 ? static_cast<double>(ev.events) / ev.wall_seconds
+                          : 0.0;
+  const double packets_per_second =
+      pk.wall_seconds > 0 ? static_cast<double>(pk.units) / pk.wall_seconds
+                          : 0.0;
+  const double ev_allocs_per_event =
+      ev.events > 0 ? static_cast<double>(ev.allocs) /
+                          static_cast<double>(ev.events)
+                    : 0.0;
+  const double pk_allocs_per_event =
+      pk.events > 0 ? static_cast<double>(pk.allocs) /
+                          static_cast<double>(pk.events)
+                    : 0.0;
+
+  std::printf("phase,units,events,wall_seconds,units_per_second,allocs,"
+              "allocs_per_event\n");
+  std::printf("events,%llu,%llu,%.6f,%.0f,%llu,%.6f\n",
+              static_cast<unsigned long long>(ev.units),
+              static_cast<unsigned long long>(ev.events), ev.wall_seconds,
+              events_per_second, static_cast<unsigned long long>(ev.allocs),
+              ev_allocs_per_event);
+  std::printf("packets,%llu,%llu,%.6f,%.0f,%llu,%.6f\n",
+              static_cast<unsigned long long>(pk.units),
+              static_cast<unsigned long long>(pk.events), pk.wall_seconds,
+              packets_per_second, static_cast<unsigned long long>(pk.allocs),
+              pk_allocs_per_event);
+
+  const std::pair<const char*, double> fields[] = {
+      {"events", static_cast<double>(ev.events)},
+      {"wall_seconds", ev.wall_seconds},
+      {"events_per_second", events_per_second},
+      {"packets", static_cast<double>(pk.units)},
+      {"packets_per_second", packets_per_second},
+      {"event_allocs_per_event", ev_allocs_per_event},
+      {"packet_allocs_per_event", pk_allocs_per_event},
+      // "stays flat over the run" is the steady-state claim the gate
+      // checks: fallbacks in the measured windows, not since process start.
+      {"callback_heap_fallbacks",
+       static_cast<double>(ev.fallbacks + pk.fallbacks)},
+      {"peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes())}};
+  std::string json = "{\"scenario\": \"hotpath_alloc\"";
+  char buffer[64];
+  for (const auto& [key, value] : fields) {
+    std::snprintf(buffer, sizeof(buffer), "%.15g", value);
+    json += ", \"" + std::string(key) + "\": " + buffer;
+  }
+  json += "}";
+  std::printf("# BENCH_hotpath %s\n", json.c_str());
+  if (const char* dir = std::getenv("P2PLAB_RESULTS_DIR")) {
+    const std::string path = std::string(dir) + "/BENCH_hotpath.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr,
+                   "# P2PLAB_RESULTS_DIR=%s is not writable; BENCH_hotpath "
+                   "only on stdout\n", dir);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2plab
+
+int main(int argc, char** argv) { return p2plab::run(argc, argv); }

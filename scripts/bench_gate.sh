@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Hot-path regression gate: run bench/hotpath_alloc and compare its
+# BENCH_hotpath.json against the committed baseline.
+#
+# Two kinds of checks, with different strictness:
+#   * throughput (events/sec, packets/sec): machine-dependent, so a run
+#     only fails when it regresses more than THRESHOLD_PCT below baseline
+#     (default 20%; CI runners with different silicon can widen it via
+#     P2PLAB_BENCH_GATE_THRESHOLD_PCT).
+#   * allocation discipline (allocs/event, InlineCallback heap fallbacks):
+#     machine-independent, checked against absolute bounds — this is the
+#     part that catches "someone grew a closure past the inline budget"
+#     regardless of how fast the runner is.
+#
+# usage: scripts/bench_gate.sh <path-to-hotpath_alloc> [baseline-json]
+# env:   P2PLAB_BENCH_GATE_THRESHOLD_PCT  throughput slack  (default 20)
+#        P2PLAB_BENCH_GATE_MAX_ALLOCS     max packet allocs/event (default 0.1)
+#        P2PLAB_BENCH_GATE_MAX_FALLBACKS  max heap fallbacks (default 0)
+#        P2PLAB_RESULTS_DIR               where BENCH_hotpath.json lands
+#                                         (default: a temp dir)
+set -euo pipefail
+
+BENCH="${1:?usage: bench_gate.sh <path-to-hotpath_alloc> [baseline-json]}"
+BASELINE="${2:-$(dirname "$0")/../bench/BASELINE_hotpath.json}"
+THRESHOLD_PCT="${P2PLAB_BENCH_GATE_THRESHOLD_PCT:-20}"
+MAX_ALLOCS="${P2PLAB_BENCH_GATE_MAX_ALLOCS:-0.1}"
+MAX_FALLBACKS="${P2PLAB_BENCH_GATE_MAX_FALLBACKS:-0}"
+RESULTS_DIR="${P2PLAB_RESULTS_DIR:-$(mktemp -d)}"
+
+[ -f "$BASELINE" ] || { echo "FAIL: baseline '$BASELINE' not found"; exit 1; }
+
+echo "=== bench gate: $BENCH (threshold ${THRESHOLD_PCT}%) ==="
+P2PLAB_RESULTS_DIR="$RESULTS_DIR" "$BENCH"
+RESULT="$RESULTS_DIR/BENCH_hotpath.json"
+[ -s "$RESULT" ] || { echo "FAIL: $RESULT was not written"; exit 1; }
+
+# The JSON is flat ("key": number pairs), so awk is all the parsing needed.
+field() {
+  awk -v key="\"$2\":" 'BEGIN { RS="," } $0 ~ key { gsub(/[^0-9.eE+-]/, "", $NF); print $NF }' "$1"
+}
+
+status=0
+check_throughput() {  # name
+  local now base floor
+  now=$(field "$RESULT" "$1")
+  base=$(field "$BASELINE" "$1")
+  floor=$(awk -v b="$base" -v t="$THRESHOLD_PCT" 'BEGIN { printf "%.0f", b * (100 - t) / 100 }')
+  if awk -v n="$now" -v f="$floor" 'BEGIN { exit !(n < f) }'; then
+    echo "FAIL: $1 = $now, below floor $floor (baseline $base - ${THRESHOLD_PCT}%)"
+    status=1
+  else
+    echo "ok:   $1 = $now (baseline $base, floor $floor)"
+  fi
+}
+check_max() {  # name bound
+  local now
+  now=$(field "$RESULT" "$1")
+  if awk -v n="$now" -v m="$2" 'BEGIN { exit !(n > m) }'; then
+    echo "FAIL: $1 = $now, above bound $2"
+    status=1
+  else
+    echo "ok:   $1 = $now (bound $2)"
+  fi
+}
+
+check_throughput events_per_second
+check_throughput packets_per_second
+check_max event_allocs_per_event "$MAX_ALLOCS"
+check_max packet_allocs_per_event "$MAX_ALLOCS"
+check_max callback_heap_fallbacks "$MAX_FALLBACKS"
+
+exit $status

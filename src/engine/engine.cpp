@@ -100,6 +100,9 @@ void Engine::worker(std::size_t shard) {
     if (phase_ != Phase::kRunWindow) break;
     sim.run_before(window_end_);
     sim.advance_to(window_end_);
+    // Window boundaries are on the global grid, so shrinking here is
+    // partition-independent (and slot-reuse order is unobservable anyway).
+    sim.maybe_compact();
   }
   if (rec != nullptr) metrics::FlightRecorder::set_active(nullptr);
 }
@@ -129,10 +132,14 @@ void Engine::coordinate() {
               });
     net::Network* const net = networks_[d];
     for (IngressEntry& e : merge_buf_) {
-      sims_[d]->schedule_at(e.stamp,
-                            [net, pkt = std::move(e.packet)]() mutable {
-                              net->fabric_arrive(std::move(pkt));
-                            });
+      // Re-materialize the packet from the *destination* shard's pool (the
+      // coordinator has exclusive access at the barrier). The arrival event
+      // then carries a 16-byte capture — zero allocations at dispatch.
+      sims_[d]->schedule_at(
+          e.stamp,
+          [net, ref = net->pool().acquire(std::move(e.packet))]() mutable {
+            net->fabric_arrive(std::move(ref));
+          });
     }
     merge_buf_.clear();
   }

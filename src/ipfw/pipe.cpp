@@ -1,6 +1,5 @@
 #include "ipfw/pipe.hpp"
 
-#include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -108,11 +107,36 @@ void Pipe::enqueue(Segment seg) {
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
   if (config_.fair_queue) {
     auto [it, inserted] = flows_.try_emplace(seg.flow);
-    if (it->second.segments.empty()) active_.push_back(seg.flow);
+    if (it->second.segments.empty()) ring_add(seg.flow);
     it->second.segments.push_back(std::move(seg));
   } else {
     fifo_.push_back(std::move(seg));
   }
+}
+
+void Pipe::ring_add(FlowId flow) {
+  // Reuse a parked ring node if one exists: flows blink in and out of the
+  // ring once per burst of queue pressure, and list nodes splice for free.
+  if (spare_.empty()) {
+    active_.push_back(flow);
+  } else {
+    spare_.front() = flow;
+    active_.splice(active_.end(), spare_, spare_.begin());
+  }
+}
+
+void Pipe::maybe_sweep_flows() {
+  // Parked (empty) flow entries make returning flows allocation-free, but
+  // under long-run connection churn dead entries would pile up. When they
+  // dominate, give the memory back; the next arrival of each flow simply
+  // re-allocates once.
+  if (flows_.size() < kSweepMinFlows ||
+      flows_.size() < 4 * (active_.size() + 1)) {
+    return;
+  }
+  std::erase_if(flows_,
+                [](const auto& kv) { return kv.second.segments.empty(); });
+  spare_.clear();
 }
 
 void Pipe::serve_next() {
@@ -148,9 +172,13 @@ void Pipe::serve_next() {
       queued_bytes_ -= head_bytes;
       if (fq.segments.empty()) {
         // An emptied flow leaves the ring and forfeits its deficit (classic
-        // DRR — prevents a returning flow from bursting).
-        active_.pop_front();
-        flows_.erase(it);
+        // DRR — prevents a returning flow from bursting). The map entry and
+        // ring node are parked for reuse rather than freed — identical
+        // scheduling behaviour, zero allocator traffic when the flow
+        // returns.
+        fq.deficit_bytes = 0;
+        spare_.splice(spare_.end(), active_, active_.begin());
+        maybe_sweep_flows();
       }
       start_service(std::move(seg));
       return;
@@ -163,12 +191,13 @@ void Pipe::serve_next() {
 void Pipe::start_service(Segment seg) {
   busy_ = true;
   const Duration service = config_.bandwidth.transmission_time(seg.size);
-  // Move the segment into the completion event. Capturing a std::function
-  // inside a std::function allocates, but the path is ~2 allocations per
-  // segment, dwarfed by transport bookkeeping.
-  auto shared = std::make_shared<Segment>(std::move(seg));
-  sim_.schedule_after(service, [this, shared]() mutable {
-    depart(std::move(*shared));
+  // The in-service segment waits inside the pipe itself, so the completion
+  // event captures one pointer. Moving it out *before* depart/serve_next
+  // frees the slot for whatever those start serving next.
+  in_service_ = std::move(seg);
+  sim_.schedule_after(service, [this] {
+    Segment done = std::move(in_service_);
+    depart(std::move(done));
     serve_next();
   });
 }

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <list>
 #include <unordered_map>
 
@@ -100,8 +99,11 @@ class Pipe {
   struct Segment {
     DataSize size;
     FlowId flow = 0;
-    std::function<void()> on_exit;
-    std::function<void()> on_drop;
+    // InlineCallback, not std::function: the network layer's continuations
+    // carry a move-only pooled PacketRef, and the whole point of the pipe
+    // walk is to move it stage to stage without touching the allocator.
+    sim::InlineCallback on_exit;
+    sim::InlineCallback on_drop;
     Duration* defer_delay = nullptr;
   };
 
@@ -139,8 +141,11 @@ class Pipe {
   void serve_next();
   void start_service(Segment seg);
   void depart(Segment seg);  // bandwidth stage done -> delay line
+  void ring_add(FlowId flow);
+  void maybe_sweep_flows();
 
   static constexpr std::uint64_t kDrrQuantumBytes = 4096;
+  static constexpr std::size_t kSweepMinFlows = 64;
 
   sim::Simulation& sim_;
   PipeConfig config_;
@@ -153,9 +158,19 @@ class Pipe {
   bool burst_bad_ = false;  // Gilbert-Elliott chain state
   std::uint64_t queued_bytes_ = 0;
 
+  /// The segment occupying the bandwidth server. Parking it here lets the
+  /// service-completion event capture only `this` (one pointer, no heap
+  /// boxing); valid exactly while `busy_` between start_service and the
+  /// completion event moving it back out.
+  Segment in_service_;
+
   // DRR state: per-flow queues plus an active ring in service order.
+  // Entries whose queue is empty are parked (not erased) and their ring
+  // nodes rest on spare_, so a flow re-entering the ring costs nothing;
+  // maybe_sweep_flows bounds the parked population.
   std::unordered_map<FlowId, FlowQueue> flows_;
   std::list<FlowId> active_;
+  std::list<FlowId> spare_;  // recycled ring nodes
 
   // FIFO state (fair_queue == false).
   std::deque<Segment> fifo_;

@@ -17,7 +17,10 @@
 // same packet); allow/deny terminate the scan.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <vector>
 
@@ -27,6 +30,82 @@ namespace p2plab::ipfw {
 
 using PipeId = std::uint32_t;
 inline constexpr PipeId kNoPipe = 0;
+
+/// The matched pipes of one classification, in rule order. Inline storage
+/// covers the real configurations (a vnode's access pipe plus an
+/// inter-group delay pipe); a rule set matching more than kInlinePipes
+/// pipes spills to the heap. Keeping this off the allocator matters:
+/// classify() runs twice per packet on the hot path, and its result rides
+/// inside the pipe-walk closure's inline capture.
+class PipeList {
+ public:
+  static constexpr std::size_t kInlinePipes = 4;
+
+  PipeList() = default;
+  PipeList(std::initializer_list<PipeId> ids) {
+    for (PipeId id : ids) push_back(id);
+  }
+  PipeList(PipeList&& other) noexcept
+      : size_(other.size_),
+        inline_(other.inline_),
+        spill_(std::move(other.spill_)) {
+    other.size_ = 0;
+  }
+  PipeList& operator=(PipeList&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      inline_ = other.inline_;
+      spill_ = std::move(other.spill_);
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  PipeList(const PipeList& other)
+      : size_(other.size_),
+        inline_(other.inline_),
+        spill_(other.spill_ ? std::make_unique<std::vector<PipeId>>(
+                                  *other.spill_)
+                            : nullptr) {}
+  PipeList& operator=(const PipeList& other) {
+    if (this != &other) *this = PipeList(other);
+    return *this;
+  }
+
+  void push_back(PipeId id) {
+    if (spill_ == nullptr) {
+      if (size_ < kInlinePipes) {
+        inline_[size_++] = id;
+        return;
+      }
+      spill_ = std::make_unique<std::vector<PipeId>>(inline_.begin(),
+                                                     inline_.end());
+    }
+    spill_->push_back(id);
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  PipeId operator[](std::size_t i) const { return data()[i]; }
+  const PipeId* begin() const { return data(); }
+  const PipeId* end() const { return data() + size_; }
+
+  friend bool operator==(const PipeList& a, const PipeList& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const PipeList& a, const std::vector<PipeId>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  const PipeId* data() const {
+    return spill_ ? spill_->data() : inline_.data();
+  }
+
+  std::uint32_t size_ = 0;
+  std::array<PipeId, kInlinePipes> inline_{};
+  std::unique_ptr<std::vector<PipeId>> spill_;
+};
 
 enum class RuleAction { kPipe, kAllow, kDeny };
 
@@ -60,7 +139,7 @@ struct MatchResult {
   std::uint32_t rules_scanned = 0;
   bool denied = false;
   /// Matched pipe rules in rule order; the packet traverses them in order.
-  std::vector<PipeId> pipes;
+  PipeList pipes;
 };
 
 /// Classification strategy interface.

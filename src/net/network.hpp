@@ -27,6 +27,7 @@
 #include "metrics/registry.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/simulation.hpp"
 
 namespace p2plab::net {
@@ -59,6 +60,7 @@ struct NetMetrics {
   metrics::Counter nic_tx_bytes;
   metrics::Counter nic_rx_bytes;
   metrics::Counter cpu_charged_ns;  // host CPU work (stack + rule scans)
+  // Packet-cell recycling lives in PacketPool ("net.pool.*").
 };
 
 /// Cross-shard packet transport, implemented by the parallel engine
@@ -132,8 +134,14 @@ class Network {
   bool engine_mode() const { return handoff_ != nullptr; }
 
   /// Destination entry point for handed-off packets; the engine schedules
-  /// this at the packet's stamp on the owning shard's simulation.
-  void fabric_arrive(Packet packet);
+  /// this at the packet's stamp on the owning shard's simulation, acquiring
+  /// the ref from this (the destination) shard's pool at merge time.
+  void fabric_arrive(PacketRef packet);
+
+  /// This shard's packet-cell pool. The engine acquires from the
+  /// *destination* network's pool when re-materializing a handed-off
+  /// packet; cells never cross pools.
+  PacketPool& pool() { return pool_; }
 
   /// Deliver packets flagged socket_demux through this callback (installed
   /// by the shard's SocketManager; per-shard, so delivery never touches
@@ -148,25 +156,37 @@ class Network {
   friend class Host;
   void register_address(Ipv4Addr addr, Host* host);
 
-  // Path stages. `defer` selects the engine discipline for inter-host
-  // packets: source pipes accumulate their fixed delay into the packet and
-  // the path ends in handoff_exit instead of traverse_fabric.
-  void leave_source(std::shared_ptr<Packet> packet, Host& src, bool defer);
-  void traverse_fabric(std::shared_ptr<Packet> packet, Host& src, Host& dst);
-  void handoff_exit(std::shared_ptr<Packet> packet, Host& src);
-  void arrive_at_destination(std::shared_ptr<Packet> packet, Host& dst);
-  void deliver(std::shared_ptr<Packet> packet);
+  /// What comes after the current host's pipe walk. Carried by value
+  /// through the walk's continuation instead of a boxed `done` closure —
+  /// one byte of state replaces a std::function that the old code also
+  /// re-copied at every pipe stage.
+  enum class PathStage : std::uint8_t {
+    kSource,       // classic/loopback source side: fabric or local arrival
+    kSourceDefer,  // engine mode: source side ends in handoff_exit
+    kDest,         // destination side: ends in deliver
+  };
 
-  /// Run the packet through `pipes` of `fw` in order, then `done`.
-  void pass_pipes(std::shared_ptr<Packet> packet, ipfw::Firewall& fw,
-                  std::vector<ipfw::PipeId> pipes, size_t index,
-                  std::function<void()> done, bool defer);
+  void leave_source(PacketRef packet, Host& src, PathStage stage);
+  void traverse_fabric(PacketRef packet, Host& src, Host& dst);
+  void handoff_exit(PacketRef packet, Host& src);
+  void arrive_at_destination(PacketRef packet, Host& dst);
+  void deliver(PacketRef packet);
+
+  /// Run the packet through `pipes` of `host`'s firewall in order, then
+  /// finish_path(stage).
+  void pass_pipes(PacketRef packet, Host& host, ipfw::PipeList pipes,
+                  std::uint32_t index, PathStage stage);
+  void finish_path(PacketRef packet, Host& host, PathStage stage);
 
   sim::Simulation& sim_;
   Rng rng_;
   NetworkConfig config_;
   NetworkStats stats_;
   NetMetrics metrics_;
+  // Declared before hosts_: pipes hold queued segments whose closures own
+  // PacketRefs, so hosts_ (destroyed first, reverse declaration order)
+  // drains its refs into a still-live pool.
+  PacketPool pool_;
   metrics::Registry* bound_reg_ = nullptr;  // for hosts added after binding
   FabricHandoff* handoff_ = nullptr;
   std::function<void(Packet&&)> socket_demux_;

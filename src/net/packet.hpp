@@ -18,6 +18,8 @@
 
 namespace p2plab::net {
 
+class PacketPool;
+
 /// Transport-level packet kinds; opaque to the network layer.
 enum class PacketKind : std::uint8_t {
   kDatagram = 0,  // fire-and-forget (ping probes, raw sends)
@@ -66,6 +68,11 @@ struct Packet {
 
   /// Stamped by Network::send; used for RTT estimation and diagnostics.
   SimTime sent_at;
+
+  /// Pool bookkeeping (see net/packet_pool.hpp): the pool owning this cell,
+  /// maintained by PacketPool::acquire and cleared when the pool dies first.
+  /// Null for stack-constructed packets. Not for application use.
+  PacketPool* origin_pool = nullptr;
 };
 
 }  // namespace p2plab::net

@@ -32,6 +32,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "metrics/registry.hpp"
+#include "sim/inline_callback.hpp"
 
 namespace p2plab::sim {
 
@@ -53,7 +54,11 @@ class EventId {
 
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  /// Event closures are small-buffer-optimized and move-only; typical
+  /// captures (a few pointers + a packet handle) never touch the
+  /// allocator. Oversized captures still work — they fall back to the
+  /// heap and tick sim.alloc.callback_heap_fallbacks.
+  using Callback = InlineCallback;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -64,11 +69,13 @@ class Simulation {
   /// Schedule `cb` at absolute time `when` (>= now).
   EventId schedule_at(SimTime when, Callback cb) {
     P2PLAB_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    if (cb.on_heap()) metrics_.callback_heap_fallbacks.inc();
     const std::uint64_t seq = ++next_seq_;
     std::uint32_t slot;
     if (free_slots_.empty()) {
       slot = static_cast<std::uint32_t>(slab_.size());
       slab_.push_back(Slot{seq, std::move(cb), false});
+      metrics_.slab_capacity.set(static_cast<double>(slab_.capacity()));
     } else {
       slot = free_slots_.back();
       free_slots_.pop_back();
@@ -194,6 +201,53 @@ class Simulation {
     }
   }
 
+  /// Slots currently allocated in the slab (capacity watermark; the gauge
+  /// sim.slab.capacity tracks the backing vector's capacity).
+  size_t slab_size() const { return slab_.size(); }
+
+  /// Shrink kernel storage after a burst: recycle every cancelled heap
+  /// entry, pop dead trailing slab slots, and release excess vector
+  /// capacity. Dispatch order is untouched — the heap is rebuilt on the
+  /// same (when, seq) total order — so this is safe at any quiescent
+  /// point; the parallel engine calls maybe_compact() at window
+  /// boundaries, where each shard's kernel is between events by
+  /// construction.
+  void compact() {
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+      if (!slab_[e.slot].cancelled) return false;
+      free_slots_.push_back(e.slot);
+      return true;
+    });
+    // A sorted array satisfies the heap invariant for any arity.
+    std::sort(heap_.begin(), heap_.end(),
+              [](const HeapEntry& a, const HeapEntry& b) { return a.before(b); });
+    // Only trailing dead slots can be returned; interior ones must stay,
+    // since live heap entries index into the slab.
+    while (!slab_.empty() && slab_.back().cancelled) slab_.pop_back();
+    std::erase_if(free_slots_, [this](std::uint32_t s) {
+      return s >= slab_.size();
+    });
+    if (slab_.capacity() > 2 * slab_.size()) slab_.shrink_to_fit();
+    if (heap_.capacity() > 2 * heap_.size()) heap_.shrink_to_fit();
+    if (free_slots_.capacity() > 2 * free_slots_.size()) {
+      free_slots_.shrink_to_fit();
+    }
+    last_compact_slots_ = slab_.size();
+    metrics_.slab_capacity.set(static_cast<double>(slab_.capacity()));
+  }
+
+  /// compact() when the slab is mostly dead after a burst (occupancy
+  /// < 25% over at least kCompactMinSlots). The slab-size memo makes the
+  /// check O(1) between growths: a compact that could not shrink (a live
+  /// slot pins the tail) is not retried until the slab grows again.
+  void maybe_compact() {
+    if (slab_.size() >= kCompactMinSlots &&
+        live_events_ * 4 < slab_.size() &&
+        slab_.size() != last_compact_slots_) {
+      compact();
+    }
+  }
+
   /// Resolve kernel metrics from `reg`. Call before running: the counters
   /// count from the moment they are bound (a fresh simulation keeps
   /// `sim.events.dispatched` equal to dispatched_events()). Binding also
@@ -205,6 +259,10 @@ class Simulation {
     metrics_.dispatched = reg.counter("sim.events.dispatched");
     metrics_.cancelled = reg.counter("sim.events.cancelled");
     metrics_.queue_depth = reg.gauge("sim.queue.depth");
+    metrics_.callback_heap_fallbacks =
+        reg.counter("sim.alloc.callback_heap_fallbacks");
+    metrics_.slab_capacity = reg.gauge("sim.slab.capacity");
+    metrics_.slab_capacity.set(static_cast<double>(slab_.capacity()));
     metrics_.dispatch_ns = reg.histogram(
         "sim.dispatch.wall_ns",
         {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000});
@@ -282,10 +340,13 @@ class Simulation {
     metrics::Counter scheduled;
     metrics::Counter dispatched;
     metrics::Counter cancelled;
+    metrics::Counter callback_heap_fallbacks;
     metrics::Gauge queue_depth;
+    metrics::Gauge slab_capacity;
     metrics::Histogram dispatch_ns;
   };
   static constexpr std::uint64_t kDispatchSamplePeriod = 64;
+  static constexpr size_t kCompactMinSlots = 1024;
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
@@ -294,6 +355,7 @@ class Simulation {
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slab_;
   std::vector<std::uint32_t> free_slots_;
+  size_t last_compact_slots_ = 0;
   KernelMetrics metrics_;
   bool profile_dispatch_ = false;
 };
@@ -309,7 +371,7 @@ class PeriodicTask {
 
   /// Start firing `cb` every `period`, first at now+`initial_delay`.
   void start(Simulation& sim, Duration period, Duration initial_delay,
-             std::function<void()> cb) {
+             Simulation::Callback cb) {
     P2PLAB_ASSERT(period > Duration::zero());
     stop();
     sim_ = &sim;
@@ -340,7 +402,7 @@ class PeriodicTask {
   Simulation* sim_ = nullptr;
   Duration period_ = Duration::zero();
   EventId pending_;
-  std::function<void()> cb_;
+  Simulation::Callback cb_;
 };
 
 }  // namespace p2plab::sim

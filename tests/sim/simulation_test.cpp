@@ -161,6 +161,71 @@ TEST(Simulation, RandomScheduleDispatchesMonotonically) {
   }
 }
 
+// A stale EventId whose slot has been recycled by a newer event must not
+// cancel the newer event (the classic ABA hazard of slot reuse; the seq
+// stamp disambiguates).
+TEST(Simulation, CancelOfRecycledSlotIsAbaSafe) {
+  Simulation sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  const EventId a = sim.schedule_after(Duration::ms(1), [&] { a_fired = true; });
+  sim.run();  // a fires; its slot returns to the free list
+  EXPECT_TRUE(a_fired);
+  ASSERT_EQ(sim.slab_size(), 1u);  // b below must recycle a's slot
+  sim.schedule_after(Duration::ms(1), [&] { b_fired = true; });
+  EXPECT_FALSE(sim.cancel(a));  // stale id: same slot, older seq
+  sim.run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulation, CancelOfCancelledThenRecycledSlotIsAbaSafe) {
+  Simulation sim;
+  const EventId a = sim.schedule_after(Duration::ms(1), [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  sim.run();  // prunes a's heap entry, freeing the slot
+  int fired = 0;
+  sim.schedule_after(Duration::ms(1), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(a));  // must not hit the recycled slot
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CompactShrinksSlabAndPreservesDispatch) {
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(sim.schedule_after(Duration::ms(1000 + i),
+                                     [&order, i] { order.push_back(i); }));
+  }
+  // A burst that ended: cancel the long tail, keep a few early events.
+  for (int i = 10; i < 5000; ++i) sim.cancel(ids[static_cast<size_t>(i)]);
+  const size_t slots_before = sim.slab_size();
+  sim.maybe_compact();
+  EXPECT_LT(sim.slab_size(), slots_before);
+  EXPECT_EQ(sim.pending_events(), 10u);
+  // Stale ids stay invalid after the shrink; live ones stay cancellable.
+  EXPECT_FALSE(sim.cancel(ids[20]));
+  EXPECT_TRUE(sim.cancel(ids[5]));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 6, 7, 8, 9}));
+}
+
+TEST(Simulation, CompactKeepsSchedulingUsable) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(sim.schedule_after(Duration::ms(i + 1), [] {}));
+  }
+  for (const EventId id : ids) sim.cancel(id);
+  sim.compact();
+  EXPECT_EQ(sim.slab_size(), 0u);
+  int fired = 0;
+  sim.schedule_after(Duration::ms(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(PeriodicTask, FiresOnCadence) {
   Simulation sim;
   PeriodicTask task;
