@@ -31,15 +31,52 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Boolean switch value: on|off|1|0|true|false. Anything else is fatal
+/// (exit 2) — a typo like --profile=yse must not silently disable
+/// profiling on the run someone is waiting on.
+inline bool parse_switch(const char* what, std::string_view text) {
+  if (text == "on" || text == "1" || text == "true") return true;
+  if (text == "off" || text == "0" || text == "false") return false;
+  std::fprintf(stderr,
+               "bad value '%.*s' for %s (expected on|off|1|0|true|false)\n",
+               static_cast<int>(text.size()), text.data(), what);
+  std::exit(2);
+}
+
+/// Whether this bench run profiles: `--profile` / `--profile=on|off` on
+/// the command line, else P2PLAB_PROFILE (on|off|1|0|true|false), else
+/// off. Malformed values are fatal (exit 2).
+inline bool profile_enabled(int argc, char** argv) {
+  bool result = false;
+  if (const char* env = std::getenv("P2PLAB_PROFILE")) {
+    if (*env != '\0') result = parse_switch("P2PLAB_PROFILE", env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view prefix = "--profile=";
+    if (arg == "--profile") {
+      result = true;
+    } else if (arg.substr(0, prefix.size()) == prefix) {
+      result = parse_switch("--profile", arg.substr(prefix.size()));
+    }
+  }
+  return result;
+}
+
 /// Shard count for the parallel engine: `--shards=N` on the command line,
 /// else P2PLAB_SHARDS, else 0 (the classic single-threaded path). Any
-/// other argument, or an unparseable count, is fatal (exit 2) — flags
-/// must never be silently swallowed.
+/// other argument except the `--profile` forms (owned by
+/// profile_enabled(), accepted by every harness that calls this), or an
+/// unparseable count, is fatal (exit 2) — flags must never be silently
+/// swallowed.
 inline std::size_t shards(int argc, char** argv) {
   std::size_t result = env_size("P2PLAB_SHARDS", 0);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view prefix = "--shards=";
+    if (arg == "--profile" || arg.substr(0, 10) == "--profile=") {
+      continue;  // validated by profile_enabled()
+    }
     if (arg.substr(0, prefix.size()) == prefix) {
       const char* text = argv[i] + prefix.size();
       char* end = nullptr;
@@ -50,8 +87,9 @@ inline std::size_t shards(int argc, char** argv) {
       }
       result = static_cast<std::size_t>(parsed);
     } else {
-      std::fprintf(stderr, "unknown argument '%s' (supported: --shards=N)\n",
-                   argv[i]);
+      std::fprintf(stderr,
+                   "unknown argument '%s' (supported: --shards=N, "
+                   "--profile[=on|off])\n", argv[i]);
       std::exit(2);
     }
   }

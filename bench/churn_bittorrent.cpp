@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
   const bool run_baseline =
       bench::env_size("P2PLAB_CHURN_BASELINE", 1) != 0;
   const std::size_t shards = bench::shards(argc, argv);
+  const bool profile = bench::profile_enabled(argc, argv);
 
   int failures = 0;
   double baseline_median = -1.0;
   if (run_baseline) {
     scenario::ScenarioSpec spec = scenario::catalog::churn_baseline(clients);
     spec.engine.shards = shards;
+    spec.engine.profile = profile;
     scenario::ExperimentRunner baseline(std::move(spec));
     baseline.setup();
     baseline.execute();
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
 
   scenario::ScenarioSpec spec = scenario::catalog::churn(clients, churn_pct);
   spec.engine.shards = shards;
+  spec.engine.profile = profile;
   scenario::ExperimentRunner runner(std::move(spec));
   runner.set_baseline_median(baseline_median);
   failures += runner.run();

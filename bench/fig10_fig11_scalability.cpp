@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   scenario::ScenarioSpec spec = scenario::catalog::fig10(
       bench::env_size("P2PLAB_FIG10_CLIENTS", 1440));
   spec.engine.shards = bench::shards(argc, argv);
+  spec.engine.profile = bench::profile_enabled(argc, argv);
   bench::banner("Figures 10+11",
                 "scalability: " + std::to_string(spec.swarm.clients) +
                     " clients at 32 vnodes per pnode, " +

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   scenario::ScenarioSpec spec =
       scenario::catalog::fig8(bench::env_size("P2PLAB_FIG8_CLIENTS", 160));
   spec.engine.shards = bench::shards(argc, argv);
+  spec.engine.profile = bench::profile_enabled(argc, argv);
   scenario::ExperimentRunner runner(std::move(spec));
   return runner.run();
 }

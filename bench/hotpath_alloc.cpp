@@ -31,6 +31,7 @@
 #include "common/ipv4.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "profile/profiler.hpp"
 #include "sim/inline_callback.hpp"
 #include "sim/simulation.hpp"
 
@@ -85,12 +86,13 @@ struct PhaseResult {
   std::uint64_t events = 0;    // kernel events dispatched in the window
   std::uint64_t allocs = 0;    // operator-new calls in the window
   std::uint64_t fallbacks = 0;  // InlineCallback heap fallbacks in the window
+  std::uint64_t start_ns = 0;  // profiler clock at window start
 };
 
 /// Phase 1: raw kernel throughput. `chains` timers each reschedule
 /// themselves until `total` events have been dispatched.
-PhaseResult run_event_phase(std::uint64_t warmup, std::uint64_t total,
-                            std::size_t chains) {
+PhaseResult run_event_phase(profile::Profiler& prof, std::uint64_t warmup,
+                            std::uint64_t total, std::size_t chains) {
   sim::Simulation sim;
   std::uint64_t fired = 0;
   // Each event captures what the network layer's completion closures
@@ -120,9 +122,10 @@ PhaseResult run_event_phase(std::uint64_t warmup, std::uint64_t total,
   const std::uint64_t alloc0 = g_allocs.load(std::memory_order_relaxed);
   const std::uint64_t events0 = sim.dispatched_events();
   const std::uint64_t fb0 = sim::InlineCallback::heap_fallbacks();
+  PhaseResult r;
+  r.start_ns = prof.now_ns();
   bench::WallTimer timer;
   while (sim.dispatched_events() < warmup + total) sim.step();
-  PhaseResult r;
   r.wall_seconds = timer.elapsed_seconds();
   r.events = sim.dispatched_events() - events0;
   r.units = r.events;
@@ -134,8 +137,8 @@ PhaseResult run_event_phase(std::uint64_t warmup, std::uint64_t total,
 /// Phase 2: the full per-packet path. Two hosts with shaped access links
 /// ping-pong `inflight` packets; the demux response is the only
 /// application logic, so the measured cost is the emulated network itself.
-PhaseResult run_packet_phase(std::uint64_t warmup, std::uint64_t total,
-                             std::size_t inflight) {
+PhaseResult run_packet_phase(profile::Profiler& prof, std::uint64_t warmup,
+                             std::uint64_t total, std::size_t inflight) {
   sim::Simulation sim;
   net::Network network{sim, Rng{42}};
   const Ipv4Addr addr_a = ip("192.168.38.1");
@@ -189,10 +192,11 @@ PhaseResult run_packet_phase(std::uint64_t warmup, std::uint64_t total,
   const std::uint64_t events0 = sim.dispatched_events();
   const std::uint64_t delivered0 = delivered;
   const std::uint64_t fb0 = sim::InlineCallback::heap_fallbacks();
+  PhaseResult r;
+  r.start_ns = prof.now_ns();
   bench::WallTimer timer;
   while (delivered < delivered0 + total && sim.step()) {
   }
-  PhaseResult r;
   r.wall_seconds = timer.elapsed_seconds();
   r.units = delivered - delivered0;
   r.events = sim.dispatched_events() - events0;
@@ -203,15 +207,32 @@ PhaseResult run_packet_phase(std::uint64_t warmup, std::uint64_t total,
 
 int run(int argc, char** argv) {
   (void)bench::shards(argc, argv);  // accepted for interface parity; unused
+  const bool profiling = bench::profile_enabled(argc, argv);
   const std::uint64_t event_total =
       bench::env_size("P2PLAB_HOTPATH_EVENTS", 4'000'000);
   const std::uint64_t packet_total =
       bench::env_size("P2PLAB_HOTPATH_PACKETS", 400'000);
 
+  // The profiler always exists (one ring, one phase-level sample per
+  // measured window — two clock reads outside the hot loops); `profiling`
+  // only controls whether the timeline and rollup are emitted. That keeps
+  // the gate's "with profiling on" run identical in work to the baseline.
+  profile::Profiler prof(1);
   const PhaseResult ev =
-      run_event_phase(event_total / 10, event_total, /*chains=*/64);
+      run_event_phase(prof, event_total / 10, event_total, /*chains=*/64);
   const PhaseResult pk =
-      run_packet_phase(packet_total / 10, packet_total, /*inflight=*/64);
+      run_packet_phase(prof, packet_total / 10, packet_total,
+                       /*inflight=*/64);
+  for (std::uint64_t window = 0; const PhaseResult* r : {&ev, &pk}) {
+    profile::PhaseSample sample;
+    sample.start_ns = r->start_ns;
+    sample.dur_ns =
+        static_cast<std::uint64_t>(r->wall_seconds * 1e9);
+    sample.window = window++;
+    sample.events = r->events;
+    sample.phase = profile::Phase::kExecute;
+    prof.shard_ring(0).push(sample);
+  }
 
   const double events_per_second =
       ev.wall_seconds > 0 ? static_cast<double>(ev.events) / ev.wall_seconds
@@ -241,7 +262,8 @@ int run(int argc, char** argv) {
               packets_per_second, static_cast<unsigned long long>(pk.allocs),
               pk_allocs_per_event);
 
-  const std::pair<const char*, double> fields[] = {
+  std::vector<std::pair<std::string, double>> fields = {
+      {"cores", static_cast<double>(profile::Profiler::online_cores())},
       {"events", static_cast<double>(ev.events)},
       {"wall_seconds", ev.wall_seconds},
       {"events_per_second", events_per_second},
@@ -254,6 +276,17 @@ int run(int argc, char** argv) {
       {"callback_heap_fallbacks",
        static_cast<double>(ev.fallbacks + pk.fallbacks)},
       {"peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes())}};
+  if (profiling) {
+    const profile::Rollup roll = prof.rollup();
+    fields.emplace_back("shard0_utilization_pct",
+                        roll.shards[0].utilization_pct);
+    fields.emplace_back("barrier_wait_share", roll.barrier_wait_share);
+    fields.emplace_back("merge_share", roll.merge_share);
+    fields.emplace_back("imbalance_ratio", roll.imbalance_ratio);
+    fields.emplace_back("profile_ring_dropped",
+                        static_cast<double>(roll.ring_dropped));
+    prof.write_perfetto_to_results("profile_hotpath.json");
+  }
   std::string json = "{\"scenario\": \"hotpath_alloc\"";
   char buffer[64];
   for (const auto& [key, value] : fields) {

@@ -13,12 +13,40 @@
 #     regardless of how fast the runner is.
 #
 # usage: scripts/bench_gate.sh <path-to-hotpath_alloc> [baseline-json]
+#        scripts/bench_gate.sh --scaling <bench-json>...
 # env:   P2PLAB_BENCH_GATE_THRESHOLD_PCT  throughput slack  (default 20)
 #        P2PLAB_BENCH_GATE_MAX_ALLOCS     max packet allocs/event (default 0.1)
 #        P2PLAB_BENCH_GATE_MAX_FALLBACKS  max heap fallbacks (default 0)
 #        P2PLAB_RESULTS_DIR               where BENCH_hotpath.json lands
 #                                         (default: a temp dir)
+#
+# --scaling mode: validate BENCH_*.json files as parallel-scaling
+# datapoints. A shards>1 run with degraded_parallelism set (fewer online
+# cores than shards — the workers time-sliced one core) is REFUSED with
+# exit 2: its wall-clock says nothing about scaling, and plotting it as if
+# it did is how wrong speedup graphs get published.
 set -euo pipefail
+
+if [ "${1:-}" = "--scaling" ]; then
+  shift
+  [ "$#" -ge 1 ] || { echo "usage: bench_gate.sh --scaling <bench-json>..."; exit 2; }
+  field() {
+    awk -v key="\"$2\":" 'BEGIN { RS="," } $0 ~ key { gsub(/[^0-9.eE+-]/, "", $NF); print $NF }' "$1"
+  }
+  for json in "$@"; do
+    [ -s "$json" ] || { echo "REFUSED: $json missing or empty"; exit 2; }
+    shards=$(field "$json" shards)
+    degraded=$(field "$json" degraded_parallelism)
+    if [ "${shards%%.*}" -gt 1 ] && [ "${degraded%%.*}" -eq 1 ] 2>/dev/null; then
+      echo "REFUSED: $json ran shards=$shards with degraded_parallelism=1" \
+           "(cores=$(field "$json" cores)) — not a scaling datapoint;" \
+           "rerun on a machine with >= $shards online cores"
+      exit 2
+    fi
+    echo "ok:   $json (shards=$shards, cores=$(field "$json" cores)) is a valid scaling datapoint"
+  done
+  exit 0
+fi
 
 BENCH="${1:?usage: bench_gate.sh <path-to-hotpath_alloc> [baseline-json]}"
 BASELINE="${2:-$(dirname "$0")/../bench/BASELINE_hotpath.json}"

@@ -54,4 +54,33 @@ for scn in "${scn_files[@]}"; do
              ${extra[@]+"${extra[@]}"} --print-outputs)
   done
 done
+
+# One profiled pass: the profiler must run, declare and write its Perfetto
+# timeline (profile.json) alongside the scenario's usual outputs. The flag
+# comes from the CLI so the shipped .scn files stay untouched.
+prof_scn="$SCN_DIR/fig8.scn"
+if [ -f "$prof_scn" ]; then
+  out=$(mktemp -d)
+  echo "=== fig8 shards=2 --profile ==="
+  if ! P2PLAB_RESULTS_DIR="$out" \
+      "$RUN" "$prof_scn" --profile --set engine.shards=2 \
+      --set workload.clients=16 > "$out/stdout.log" 2>&1; then
+    echo "FAIL: profiled fig8 run exited nonzero"
+    tail -20 "$out/stdout.log"
+    status=1
+  else
+    while IFS= read -r f; do
+      if [ ! -s "$out/$f" ]; then
+        echo "FAIL: profiled fig8 did not write declared output $f"
+        status=1
+      fi
+    done < <("$RUN" "$prof_scn" --profile --set engine.shards=2 \
+             --set workload.clients=16 --print-outputs)
+    if ! "$RUN" "$prof_scn" --profile --set engine.shards=2 \
+        --set workload.clients=16 --print-outputs | grep -q '^profile\.json$'; then
+      echo "FAIL: --print-outputs with --profile does not list profile.json"
+      status=1
+    fi
+  fi
+fi
 exit $status

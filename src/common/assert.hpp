@@ -17,6 +17,12 @@ namespace p2plab::detail {
 /// recorder, and an assertion dumps the ring of the thread that tripped it.
 inline thread_local void (*g_assert_hook)() = nullptr;
 
+/// Second post-mortem slot, invoked after g_assert_hook: the wall-clock
+/// profiler (profile/profiler.hpp) drains its phase rings here so a crashed
+/// run still leaves a timeline next to the flight-recorder dump. Separate
+/// slots keep the two subsystems from clobbering each other's hook.
+inline thread_local void (*g_profile_assert_hook)() = nullptr;
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "p2plab: assertion failed: %s at %s:%d%s%s\n", expr,
@@ -25,6 +31,11 @@ inline thread_local void (*g_assert_hook)() = nullptr;
     // Disarm first: a failure inside the hook must not recurse.
     auto* hook = g_assert_hook;
     g_assert_hook = nullptr;
+    hook();
+  }
+  if (g_profile_assert_hook != nullptr) {
+    auto* hook = g_profile_assert_hook;
+    g_profile_assert_hook = nullptr;
     hook();
   }
   std::abort();

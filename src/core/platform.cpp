@@ -24,6 +24,18 @@ Platform::Platform(const topology::Topology& topo, PlatformConfig config)
     const std::size_t k = std::min(config_.shards, config_.physical_nodes);
     engine_ = std::make_unique<engine::Engine>(topo_.min_access_latency() +
                                                config_.network.switch_latency);
+    const int online = profile::Profiler::online_cores();
+    if (k > 1 && online < static_cast<int>(k)) {
+      std::fprintf(stderr,
+                   "[p2plab] WARNING: %d online core(s) for %zu shards — "
+                   "worker threads will time-slice, so wall-clock numbers "
+                   "from this run are NOT a parallel-scaling datapoint "
+                   "(degraded_parallelism)\n",
+                   online, k);
+    }
+    // Pin by default only when every worker can own a core.
+    engine_->set_pin_workers(
+        config_.pin_workers.value_or(online >= static_cast<int>(k)));
     for (std::size_t s = 0; s < k; ++s) {
       auto shard = std::make_unique<Shard>();
       shard->network = std::make_unique<net::Network>(shard->sim, rng_.fork(1),
@@ -54,6 +66,7 @@ Platform::~Platform() {
   // Deactivate tracing installed by enable_tracing on this thread before
   // the recorders (and everything they reference) go away.
   if (tracing()) metrics::FlightRecorder::set_active(nullptr);
+  if (profiling()) profile::Profiler::set_thread_active(nullptr);
 }
 
 sim::Simulation& Platform::sim() {
@@ -143,15 +156,53 @@ Platform::RunResult Platform::run(SimTime deadline,
         return RunResult::kDrained;
     }
   }
+  // Classic mode: chunked run_until calls. With profiling on, each chunk
+  // becomes one execute sample in the single shard-0 ring — wall-clock
+  // bookkeeping between chunks, invisible to virtual time.
+  profile::SampleRing* const ring =
+      profiler_ != nullptr ? &profiler_->shard_ring(0) : nullptr;
+  auto chunk = [&](SimTime until) {
+    if (ring == nullptr) {
+      sim_.run_until(until);
+      return;
+    }
+    const std::uint64_t t0 = profiler_->now_ns();
+    const std::uint64_t ev0 = sim_.dispatched_events();
+    sim_.run_until(until);
+    const std::uint64_t t1 = profiler_->now_ns();
+    ring->push(profile::PhaseSample{.start_ns = t0,
+                                    .dur_ns = t1 - t0,
+                                    .window = classic_chunk_++,
+                                    .events = sim_.dispatched_events() - ev0,
+                                    .queue_depth = sim_.pending_events(),
+                                    .phase = profile::Phase::kExecute});
+  };
+  const profile::Profiler::ThreadTime rusage_base =
+      profiler_ != nullptr ? profile::Profiler::thread_rusage()
+                           : profile::Profiler::ThreadTime{};
+  const auto finish = [this, rusage_base] {
+    if (profiler_ == nullptr) return;
+    const profile::Profiler::ThreadTime now =
+        profile::Profiler::thread_rusage();
+    profiler_->add_worker_time(
+        0, {now.user_s - rusage_base.user_s, now.sys_s - rusage_base.sys_s});
+  };
   for (;;) {
-    if (stop_predicate && stop_predicate()) return RunResult::kPredicate;
+    if (stop_predicate && stop_predicate()) {
+      finish();
+      return RunResult::kPredicate;
+    }
     const auto next = sim_.next_event_time();
-    if (!next.has_value()) return RunResult::kDrained;
+    if (!next.has_value()) {
+      finish();
+      return RunResult::kDrained;
+    }
     if (*next >= deadline) {
-      sim_.run_until(deadline);
+      chunk(deadline);
+      finish();
       return RunResult::kDeadline;
     }
-    sim_.run_until(std::min(deadline, sim_.now() + check_interval));
+    chunk(std::min(deadline, sim_.now() + check_interval));
   }
 }
 
@@ -439,6 +490,28 @@ std::vector<std::string> Platform::trace_lines() const {
   lines.reserve(events.size());
   for (auto& ev : events) lines.push_back(std::move(ev.line));
   return lines;
+}
+
+void Platform::enable_profiling(std::size_t ring_capacity) {
+  if (profiler_ != nullptr) return;
+  profiler_ = std::make_unique<profile::Profiler>(shard_count(),
+                                                  ring_capacity);
+  if (engine_) engine_->set_profiler(profiler_.get());
+  // Crash drain for the main thread (covers classic mode and setup-time
+  // assertions); engine workers install their own on entry.
+  profile::Profiler::set_thread_active(profiler_.get());
+}
+
+std::vector<int> Platform::worker_cpus() const {
+  if (engine_ && !engine_->worker_cpus().empty()) {
+    return engine_->worker_cpus();
+  }
+  return std::vector<int>(shard_count(), -1);
+}
+
+bool Platform::flush_profile_to_results(const char* filename) const {
+  if (profiler_ == nullptr) return false;
+  return profiler_->write_perfetto_to_results(filename);
 }
 
 bool Platform::flush_trace_to_results(const char* filename) const {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "ipfw/pipe.hpp"
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
+#include "profile/profiler.hpp"
 #include "sim/simulation.hpp"
 #include "sockets/socket.hpp"
 #include "topology/topology.hpp"
@@ -56,6 +58,10 @@ struct PlatformConfig {
   /// Parallel engine shard count; 0 = classic single-threaded mode.
   /// Clamped to physical_nodes (a shard owns whole physical nodes).
   std::size_t shards = 0;
+  /// Pin each shard worker to one online CPU. Unset = automatic: pin when
+  /// the process affinity mask holds at least as many cores as shards (a
+  /// degraded box gains nothing from pinning everything to one core).
+  std::optional<bool> pin_workers;
 };
 
 class Platform {
@@ -196,6 +202,24 @@ class Platform {
   /// env var is unset, tracing is off, or the file cannot be written.
   bool flush_trace_to_results(const char* filename = "trace.jsonl") const;
 
+  // -- wall-clock profiling (profile/profiler.hpp) ------------------------
+
+  /// Activate the BSP profiler: one phase-sample ring per shard worker plus
+  /// a coordinator ring (classic mode: one ring fed by Platform::run's
+  /// chunk loop). Wall-clock only — virtual time and event order stay
+  /// bit-identical with profiling on or off.
+  void enable_profiling(std::size_t ring_capacity = 1 << 15);
+  bool profiling() const { return profiler_ != nullptr; }
+  /// Valid after enable_profiling().
+  profile::Profiler& profiler() { return *profiler_; }
+  const profile::Profiler& profiler() const { return *profiler_; }
+  /// CPU each worker was pinned to on the last run (-1 = unpinned; one
+  /// entry per shard, a single -1 entry in classic mode).
+  std::vector<int> worker_cpus() const;
+  /// Write the Perfetto timeline to $P2PLAB_RESULTS_DIR/<filename>; false
+  /// if profiling is off, the env var is unset or the write fails.
+  bool flush_profile_to_results(const char* filename = "profile.json") const;
+
  private:
   /// One engine shard: a private simulation, network (hosts, firewalls),
   /// socket manager and metrics registry, driven by one worker thread.
@@ -231,6 +255,8 @@ class Platform {
   std::unique_ptr<net::Network> network_;            // classic mode
   std::unique_ptr<sockets::SocketManager> sockets_;  // classic mode
   std::unique_ptr<metrics::FlightRecorder> recorder_;  // classic tracing
+  std::unique_ptr<profile::Profiler> profiler_;
+  std::uint64_t classic_chunk_ = 0;  // classic-mode profile window index
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<engine::Engine> engine_;
   std::vector<net::Host*> host_by_pnode_;

@@ -1,5 +1,7 @@
 #include "engine/engine.hpp"
 
+#include <sched.h>
+
 #include <algorithm>
 #include <optional>
 #include <thread>
@@ -29,6 +31,37 @@ std::size_t Engine::add_shard(sim::Simulation& sim, net::Network& network) {
 void Engine::set_recorder(std::size_t shard,
                           metrics::FlightRecorder* recorder) {
   recorders_.at(shard) = recorder;
+}
+
+void Engine::set_profiler(profile::Profiler* profiler) {
+  P2PLAB_ASSERT_MSG(!running_, "cannot attach a profiler mid-run");
+  P2PLAB_ASSERT_MSG(profiler == nullptr ||
+                        profiler->shard_count() >= sims_.size(),
+                    "profiler needs one ring per shard: add shards first");
+  profiler_ = profiler;
+  compact_ctx_.clear();
+  for (std::size_t s = 0; s < sims_.size(); ++s) {
+    if (profiler == nullptr) {
+      sims_[s]->set_compact_hook(nullptr, nullptr);
+      continue;
+    }
+    compact_ctx_.push_back(std::make_unique<CompactCtx>(CompactCtx{this, s}));
+    sims_[s]->set_compact_hook(&Engine::compact_hook, compact_ctx_.back().get());
+  }
+}
+
+void Engine::compact_hook(void* ctx, std::uint64_t wall_dur_ns) {
+  const auto* c = static_cast<const CompactCtx*>(ctx);
+  Engine* const eng = c->engine;
+  if (eng->profiler_ == nullptr) return;
+  const std::uint64_t end_ns = eng->profiler_->now_ns();
+  eng->profiler_->shard_ring(c->shard).push(profile::PhaseSample{
+      .start_ns = end_ns > wall_dur_ns ? end_ns - wall_dur_ns : 0,
+      .dur_ns = wall_dur_ns,
+      .window = eng->window_index_,
+      .events = 0,
+      .queue_depth = eng->sims_[c->shard]->pending_events(),
+      .phase = profile::Phase::kCompact});
 }
 
 void Engine::map_address(Ipv4Addr addr, std::size_t shard) {
@@ -66,6 +99,9 @@ Engine::StopReason Engine::run(SimTime deadline,
   phase_ = Phase::kRunWindow;
   running_ = true;
 
+  worker_cpus_.assign(sims_.size(), -1);
+  if (pin_workers_) pin_cpu_list_ = profile::Profiler::online_cpu_list();
+
   barrier_ = std::make_unique<PhaseBarrier>(sims_.size());
   std::vector<std::thread> threads;
   threads.reserve(sims_.size());
@@ -91,24 +127,76 @@ Engine::StopReason Engine::run(SimTime deadline,
   }
 }
 
+void Engine::pin_worker(std::size_t shard) {
+  if (pin_cpu_list_.empty()) return;
+  const int cpu = pin_cpu_list_[shard % pin_cpu_list_.size()];
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<std::size_t>(cpu), &set);
+  // pid 0 = the calling thread; each slot of worker_cpus_ has one writer.
+  if (sched_setaffinity(0, sizeof set, &set) == 0) {
+    worker_cpus_[shard] = cpu;
+    if (profiler_ != nullptr) {
+      profiler_->worker_stats(shard).pinned_cpu = cpu;
+    }
+  }
+}
+
 void Engine::worker(std::size_t shard) {
+  if (pin_workers_) pin_worker(shard);
   metrics::FlightRecorder* const rec = recorders_[shard];
   if (rec != nullptr) metrics::FlightRecorder::set_active(rec);
+  profile::Profiler* const prof = profiler_;
+  profile::SampleRing* const ring =
+      prof != nullptr ? &prof->shard_ring(shard) : nullptr;
+  if (prof != nullptr) profile::Profiler::set_thread_active(prof);
   sim::Simulation& sim = *sims_[shard];
   for (;;) {
+    // All profiling below is wall-clock-only bookkeeping between windows:
+    // it cannot perturb virtual time or event order (the determinism suite
+    // runs the golden trace with profiling on to prove it).
+    const std::uint64_t t0 = ring != nullptr ? prof->now_ns() : 0;
     barrier_->arrive_and_wait([this] { coordinate(); });
+    const std::uint64_t t1 = ring != nullptr ? prof->now_ns() : 0;
+    if (ring != nullptr) {
+      ring->push(profile::PhaseSample{.start_ns = t0,
+                                      .dur_ns = t1 - t0,
+                                      .window = window_index_,
+                                      .events = 0,
+                                      .queue_depth = sim.pending_events(),
+                                      .phase = profile::Phase::kBarrierWait});
+    }
     if (phase_ != Phase::kRunWindow) break;
+    const std::uint64_t ev0 = ring != nullptr ? sim.dispatched_events() : 0;
     sim.run_before(window_end_);
     sim.advance_to(window_end_);
+    if (ring != nullptr) {
+      const std::uint64_t t2 = prof->now_ns();
+      ring->push(profile::PhaseSample{.start_ns = t1,
+                                      .dur_ns = t2 - t1,
+                                      .window = window_index_,
+                                      .events = sim.dispatched_events() - ev0,
+                                      .queue_depth = sim.pending_events(),
+                                      .phase = profile::Phase::kExecute});
+    }
     // Window boundaries are on the global grid, so shrinking here is
     // partition-independent (and slot-reuse order is unobservable anyway).
     sim.maybe_compact();
+  }
+  if (prof != nullptr) {
+    prof->add_worker_time(shard, profile::Profiler::thread_rusage());
+    profile::Profiler::set_thread_active(nullptr);
   }
   if (rec != nullptr) metrics::FlightRecorder::set_active(nullptr);
 }
 
 void Engine::coordinate() {
   const std::size_t k = sims_.size();
+  // The coordinator runs under the barrier mutex with exclusive access, so
+  // writing the coordinator ring here is single-writer by construction.
+  const std::uint64_t merge_t0 =
+      profiler_ != nullptr ? profiler_->now_ns() : 0;
+  std::uint64_t merged_packets = 0;
 
   // 1. Drain all outboxes. Per destination shard, merge the K source
   //    batches and sort by (stamp, src_host, seq) — a strict total order,
@@ -131,6 +219,7 @@ void Engine::coordinate() {
                 return a.seq < b.seq;
               });
     net::Network* const net = networks_[d];
+    merged_packets += merge_buf_.size();
     for (IngressEntry& e : merge_buf_) {
       // Re-materialize the packet from the *destination* shard's pool (the
       // coordinator has exclusive access at the barrier). The arrival event
@@ -142,6 +231,17 @@ void Engine::coordinate() {
           });
     }
     merge_buf_.clear();
+  }
+
+  if (profiler_ != nullptr && merged_packets > 0) {
+    const std::uint64_t merge_t1 = profiler_->now_ns();
+    profiler_->coordinator_ring().push(
+        profile::PhaseSample{.start_ns = merge_t0,
+                             .dur_ns = merge_t1 - merge_t0,
+                             .window = window_index_,
+                             .events = merged_packets,
+                             .queue_depth = 0,
+                             .phase = profile::Phase::kMerge});
   }
 
   // 2. Global minimum pending-event time — after the drain, so it is the
@@ -184,6 +284,7 @@ void Engine::coordinate() {
   const std::int64_t w = gmin->count_ns() / l_ns;
   window_end_ = std::min(SimTime::from_ns((w + 1) * l_ns), deadline_);
   cursor_ = window_end_;
+  ++window_index_;
   phase_ = Phase::kRunWindow;
 }
 

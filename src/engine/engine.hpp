@@ -46,6 +46,7 @@
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
+#include "profile/profiler.hpp"
 #include "sim/simulation.hpp"
 
 namespace p2plab::engine {
@@ -106,6 +107,22 @@ class Engine final : public net::FabricHandoff {
   /// each run (per-shard rings keep tracing race-free).
   void set_recorder(std::size_t shard, metrics::FlightRecorder* recorder);
 
+  /// Attach a wall-clock profiler (all shards must be added first; the
+  /// profiler needs one ring per shard). Workers then record barrier-wait /
+  /// execute / compact phase samples into their own ring and the barrier
+  /// coordinator records the cross-shard merge — all wall-clock-only, so
+  /// virtual time and event order stay bit-identical. nullptr detaches.
+  void set_profiler(profile::Profiler* profiler);
+
+  /// Pin each worker thread to one online CPU (round-robin over the
+  /// process affinity mask) at the start of every run. Off by default;
+  /// the platform enables it when online cores >= shards.
+  void set_pin_workers(bool pin) { pin_workers_ = pin; }
+  bool pin_workers() const { return pin_workers_; }
+  /// CPU each shard's worker was pinned to during the last run (-1 = not
+  /// pinned). Valid after run() returns; empty before the first run.
+  const std::vector<int>& worker_cpus() const { return worker_cpus_; }
+
   /// Declare that `addr` lives on `shard`. Mappings are static: a crashed
   /// vnode's address stays mapped (withdrawal is the destination shard's
   /// business); push() returns false only for addresses never mapped.
@@ -143,7 +160,16 @@ class Engine final : public net::FabricHandoff {
 
   enum class Phase { kRunWindow, kStopDrained, kStopPredicate, kStopDeadline };
 
+  /// Context for the kernel's compact-timing hook (one per shard; the bare
+  /// function pointer cannot capture).
+  struct CompactCtx {
+    Engine* engine = nullptr;
+    std::size_t shard = 0;
+  };
+  static void compact_hook(void* ctx, std::uint64_t wall_dur_ns);
+
   void worker(std::size_t shard);
+  void pin_worker(std::size_t shard);
   /// Barrier completion: drain outboxes in merge order, then decide the
   /// next window or a stop. Runs with exclusive access to all shards.
   void coordinate();
@@ -152,6 +178,11 @@ class Engine final : public net::FabricHandoff {
   std::vector<sim::Simulation*> sims_;
   std::vector<net::Network*> networks_;
   std::vector<metrics::FlightRecorder*> recorders_;
+  profile::Profiler* profiler_ = nullptr;
+  std::vector<std::unique_ptr<CompactCtx>> compact_ctx_;
+  bool pin_workers_ = false;
+  std::vector<int> worker_cpus_;
+  std::vector<int> pin_cpu_list_;  // affinity mask snapshot, per run
   std::unordered_map<std::uint32_t, std::size_t> shard_of_addr_;
 
   // outbox_[src_shard][dst_shard]: plain vectors — during a window each is
@@ -163,6 +194,10 @@ class Engine final : public net::FabricHandoff {
   std::unique_ptr<PhaseBarrier> barrier_;
   SimTime cursor_ = SimTime::zero();      // completed through here
   SimTime window_end_ = SimTime::zero();  // end of the window in flight
+  /// Monotonic count of barrier completions; labels profile samples.
+  /// Written by the coordinator under the barrier mutex, read by workers
+  /// after they leave the barrier (same lock: ordered both ways).
+  std::uint64_t window_index_ = 0;
   SimTime next_check_ = SimTime::zero();
   SimTime deadline_ = SimTime::max();
   Duration check_interval_ = Duration::sec(5);

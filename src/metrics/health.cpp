@@ -98,17 +98,21 @@ void HealthMonitor::sample(bool final_sample) {
   const double sim_per_wall =
       wall_delta_s > 1e-9 ? sim_delta.to_seconds() / wall_delta_s : 0.0;
 
-  std::vector<std::string> row{label_,
-                               std::to_string(sim_->now().to_seconds()),
-                               std::to_string(wall_total_s),
-                               std::to_string(events),
-                               std::to_string(sim_->pending_events()),
-                               std::to_string(events_per_wall_s),
-                               std::to_string(sim_per_wall)};
+  // The row buffer is a member reused across samples: the monitor streams
+  // each row out immediately and holds no timeline in memory, so a
+  // multi-hour run's footprint does not grow with its sample count.
+  row_.clear();
+  row_.push_back(label_);
+  row_.push_back(std::to_string(sim_->now().to_seconds()));
+  row_.push_back(std::to_string(wall_total_s));
+  row_.push_back(std::to_string(events));
+  row_.push_back(std::to_string(sim_->pending_events()));
+  row_.push_back(std::to_string(events_per_wall_s));
+  row_.push_back(std::to_string(sim_per_wall));
   for (const std::string& name : opt_.tracked) {
-    row.push_back(std::to_string(reg_->value(name)));
+    row_.push_back(std::to_string(reg_->value(name)));
   }
-  csv_->row(row);
+  csv_->row(row_);
   ++samples_;
 
   P2PLAB_TRACE(sim_->now(), "health", final_sample ? "final" : "tick",
@@ -127,6 +131,9 @@ void HealthMonitor::sample(bool final_sample) {
                  "%.3g sim-s/wall-s queue=%zu\n",
                  sim_->now().to_seconds(), wall_total_s, events_per_wall_s,
                  sim_per_wall, sim_->pending_events());
+    // Heartbeat cadence doubles as the timeline flush cadence: whoever is
+    // watching the stderr pulse can tail the csv mirror at the same lag.
+    csv_->flush();
   }
 
   last_wall_ = wall_now;

@@ -91,6 +91,7 @@ class HealthMonitor {
   Registry* reg_ = nullptr;
   Registry* last_reg_ = nullptr;  // registry of the last stopped run
   std::string label_;
+  std::vector<std::string> row_;  // reused per sample; nothing accumulates
 
   Clock::time_point run_wall_start_;
   Clock::time_point last_wall_;

@@ -76,6 +76,11 @@ void CsvWriter::row(const std::vector<std::string>& values) {
 
 void CsvWriter::comment(const std::string& text) { emit("# " + text); }
 
+void CsvWriter::flush() {
+  std::fflush(stdout);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
 void CsvWriter::emit(const std::string& line) {
   std::fputs(line.c_str(), stdout);
   std::fputc('\n', stdout);

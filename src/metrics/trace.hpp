@@ -31,6 +31,11 @@ class CsvWriter {
   /// Free-form comment line (prefixed with '#').
   void comment(const std::string& text);
 
+  /// Push buffered output to both sinks now. Rows are written (not
+  /// accumulated) as they arrive; this forces them through stdio, so a
+  /// long run's timeline is tail(1)-able and survives a crash.
+  void flush();
+
   size_t rows_written() const { return rows_; }
 
  private:

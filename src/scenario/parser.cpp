@@ -616,6 +616,10 @@ ParseResult parse_scenario(std::string_view text,
                        [&](bool v) { spec.engine.check_invariants = v; });
   ok = ok && take_bool(c.engine, "trace",
                        [&](bool v) { spec.engine.trace = v; });
+  ok = ok && take_bool(c.engine, "profile",
+                       [&](bool v) { spec.engine.profile = v; });
+  ok = ok && take_bool(c.engine, "pin",
+                       [&](bool v) { spec.engine.pin_workers = v; });
   if (!ok) {
     result.spec.reset();
     result.error = error;
@@ -678,6 +682,8 @@ ParseResult parse_scenario(std::string_view text,
     ok = ok && take_string(c.outputs, "csv_note", &spec.outputs.csv_note);
   }
   ok = ok && take_string(c.outputs, "bench_json", &spec.outputs.bench_json);
+  ok = ok && take_string(c.outputs, "profile_trace",
+                         &spec.outputs.profile_trace);
   ok = ok && take_bool(c.outputs, "report",
                        [&](bool v) { spec.outputs.report = v; });
   if (!ok) {
@@ -698,6 +704,8 @@ ParseResult parse_scenario(std::string_view text,
                 "unknown key '" + stray->key + "' in [outputs]");
   }
   if (!spec.outputs.trace_file.empty()) spec.engine.trace = true;
+  // Naming a profile output turns profiling on, mirroring trace.
+  if (!spec.outputs.profile_trace.empty()) spec.engine.profile = true;
 
   // [topology]
   if (c.topo_auto &&

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "metrics/stats.hpp"
@@ -49,12 +51,17 @@ void ExperimentRunner::setup() {
           ? *spec_.topology.built
           : topology::homogeneous_dsl(spec_.vnodes(),
                                       spec_.topology.auto_link);
-  platform_ = std::make_unique<core::Platform>(
-      topo, core::PlatformConfig{
-                .physical_nodes = spec_.resolved_physical_nodes(),
-                .seed = spec_.engine.seed,
-                .shards = shards});
+  core::PlatformConfig pc;
+  pc.physical_nodes = spec_.resolved_physical_nodes();
+  pc.seed = spec_.engine.seed;
+  pc.shards = shards;
+  pc.pin_workers = spec_.engine.pin_workers;
+  platform_ = std::make_unique<core::Platform>(topo, pc);
   if (spec_.engine.trace) platform_->enable_tracing();
+  if (spec_.engine.profile) {
+    platform_->enable_profiling();
+    platform_->profiler().set_crash_filename(spec_.resolved_profile_trace());
+  }
 
   if (spec_.workload == WorkloadType::kSwarm) {
     setup_swarm();
@@ -345,7 +352,17 @@ void ExperimentRunner::write_swarm_outputs(double wall_seconds) {
   if (!out.trace_file.empty()) {
     platform_->flush_trace_to_results(out.trace_file.c_str());
   }
+  write_profile_outputs();
   if (out.report) metrics::print_registry_report(registry_);
+}
+
+void ExperimentRunner::write_profile_outputs() {
+  if (!platform_->profiling()) return;
+  // Fold first so the rollup shows up in the registry report and any
+  // later metrics consumers; gauges are set, not added — idempotent.
+  platform_->profiler().fold_into(registry_);
+  platform_->flush_profile_to_results(
+      spec_.resolved_profile_trace().c_str());
 }
 
 int ExperimentRunner::execute_ping() {
@@ -387,6 +404,7 @@ int ExperimentRunner::execute_ping() {
     write_bench_json(wall_seconds_since(wall_start),
                      static_cast<double>(spec_.ping.rules_max));
   }
+  write_profile_outputs();
   if (out.report) metrics::print_registry_report(registry_);
   return 0;
 }
@@ -401,15 +419,46 @@ void ExperimentRunner::write_bench_json(double wall_seconds,
       static_cast<double>(platform_->dispatched_events());
   const char* scale_key =
       spec_.workload == WorkloadType::kSwarm ? "clients" : "rules_max";
-  const std::pair<const char*, double> fields[] = {
+  // "cores" is the real online core count (the process affinity mask), not
+  // hardware_concurrency: a cgroup-limited CI box may advertise 16 cores
+  // while only 2 are schedulable, and scaling plots keyed on the wrong
+  // number are worse than none. degraded_parallelism flags shards > cores:
+  // the workers time-slice, so wall-clock is not a parallel datapoint.
+  const std::size_t shards = platform_->shard_count();
+  const int online = profile::Profiler::online_cores();
+  const bool degraded =
+      shards > 1 && online < static_cast<int>(shards);
+  std::vector<std::pair<std::string, double>> fields = {
       {scale_key, scale_field},
-      {"shards", static_cast<double>(platform_->shard_count())},
-      {"cores", static_cast<double>(std::thread::hardware_concurrency())},
+      {"shards", static_cast<double>(shards)},
+      {"cores", static_cast<double>(online)},
+      {"degraded_parallelism", degraded ? 1.0 : 0.0},
       {"seed", static_cast<double>(spec_.engine.seed)},
       {"events", events},
       {"wall_seconds", wall_seconds},
       {"events_per_second", wall_seconds > 0 ? events / wall_seconds : 0},
       {"peak_rss_bytes", static_cast<double>(peak_rss_bytes())}};
+  if (platform_->profiling()) {
+    const profile::Rollup roll = platform_->profiler().rollup();
+    const std::vector<int> cpus = platform_->worker_cpus();
+    bool pinned = false;
+    for (std::size_t s = 0; s < roll.shards.size(); ++s) {
+      const profile::ShardRollup& sh = roll.shards[s];
+      const std::string prefix = "shard" + std::to_string(s) + "_";
+      fields.emplace_back(prefix + "utilization_pct", sh.utilization_pct);
+      fields.emplace_back(prefix + "user_s", sh.stats.user_s);
+      fields.emplace_back(prefix + "sys_s", sh.stats.sys_s);
+      const int cpu = s < cpus.size() ? cpus[s] : -1;
+      fields.emplace_back(prefix + "cpu", static_cast<double>(cpu));
+      pinned = pinned || cpu >= 0;
+    }
+    fields.emplace_back("pinned", pinned ? 1.0 : 0.0);
+    fields.emplace_back("barrier_wait_share", roll.barrier_wait_share);
+    fields.emplace_back("merge_share", roll.merge_share);
+    fields.emplace_back("imbalance_ratio", roll.imbalance_ratio);
+    fields.emplace_back("profile_ring_dropped",
+                        static_cast<double>(roll.ring_dropped));
+  }
   std::string json = "{\"scenario\": \"" + spec_.name + "\"";
   char buffer[64];
   for (const auto& [key, value] : fields) {

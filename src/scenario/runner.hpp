@@ -64,6 +64,7 @@ class ExperimentRunner {
   int execute_swarm();
   int execute_ping();
   void write_swarm_outputs(double wall_seconds);
+  void write_profile_outputs();
   void write_bench_json(double wall_seconds, double scale_field);
 
   ScenarioSpec spec_;

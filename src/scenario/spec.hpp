@@ -103,6 +103,12 @@ struct EngineSection {
   bool check_invariants = false;
   /// Flight-recorder ring tracing (implied by outputs.trace_file).
   bool trace = false;
+  /// Wall-clock BSP profiler (implied by outputs.profile_trace). Virtual
+  /// time and event order are bit-identical with profiling on or off.
+  bool profile = false;
+  /// Pin shard workers to cores; unset = automatic (pin when the process
+  /// affinity mask holds at least `shards` online cores).
+  std::optional<bool> pin_workers;
 };
 
 struct OutputsSection {
@@ -124,6 +130,7 @@ struct OutputsSection {
   std::string csv_note;
   // Cross-workload outputs.
   std::string bench_json;  // standardized BENCH_*.json run summary
+  std::string profile_trace;  // Perfetto timeline (full filename)
   bool report = false;     // end-of-run registry report on stdout
 };
 
@@ -158,6 +165,10 @@ struct ScenarioSpec {
   std::size_t effective_shards() const {
     return workload == WorkloadType::kPingSweep ? 0 : engine.shards;
   }
+
+  /// Perfetto timeline file name: outputs.profile_trace when named,
+  /// "profile.json" when profiling is merely switched on, "" when off.
+  std::string resolved_profile_trace() const;
 
   /// File names (with extensions) this run writes into
   /// $P2PLAB_RESULTS_DIR — what the CI smoke matrix checks for.

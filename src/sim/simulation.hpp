@@ -213,6 +213,29 @@ class Simulation {
   /// boundaries, where each shard's kernel is between events by
   /// construction.
   void compact() {
+    if (compact_hook_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      compact_impl();
+      const auto dur = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0);
+      compact_hook_(compact_ctx_, static_cast<std::uint64_t>(dur.count()));
+      return;
+    }
+    compact_impl();
+  }
+
+  /// Wall-clock observer for compact(): invoked after each compaction with
+  /// the wall nanoseconds it took. A bare function pointer + context keeps
+  /// the kernel dependency-free (the BSP profiler installs itself here);
+  /// virtual time and event order are untouched. nullptr clears the hook.
+  using CompactHook = void (*)(void* ctx, std::uint64_t wall_dur_ns);
+  void set_compact_hook(CompactHook hook, void* ctx) {
+    compact_hook_ = hook;
+    compact_ctx_ = ctx;
+  }
+
+ private:
+  void compact_impl() {
     std::erase_if(heap_, [this](const HeapEntry& e) {
       if (!slab_[e.slot].cancelled) return false;
       free_slots_.push_back(e.slot);
@@ -236,6 +259,7 @@ class Simulation {
     metrics_.slab_capacity.set(static_cast<double>(slab_.capacity()));
   }
 
+ public:
   /// compact() when the slab is mostly dead after a burst (occupancy
   /// < 25% over at least kCompactMinSlots). The slab-size memo makes the
   /// check O(1) between growths: a compact that could not shrink (a live
@@ -358,6 +382,8 @@ class Simulation {
   size_t last_compact_slots_ = 0;
   KernelMetrics metrics_;
   bool profile_dispatch_ = false;
+  CompactHook compact_hook_ = nullptr;
+  void* compact_ctx_ = nullptr;
 };
 
 /// A repeating task: reschedules itself every `period` until stopped.

@@ -49,7 +49,8 @@ struct RunOutput {
   double merged_dispatched = 0;  // via the master registry (merge_from path)
 };
 
-RunOutput run_fig8(std::size_t shards, std::size_t clients) {
+RunOutput run_fig8(std::size_t shards, std::size_t clients,
+                   bool profile = false) {
   core::PlatformConfig pc;
   pc.physical_nodes = 8;
   pc.seed = 7;
@@ -58,6 +59,7 @@ RunOutput run_fig8(std::size_t shards, std::size_t clients) {
   core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
                           pc);
   platform.enable_tracing(1 << 18);
+  if (profile) platform.enable_profiling();
   metrics::Registry registry;
   bt::Swarm swarm(platform, config);
   swarm.bind_metrics(registry);
@@ -65,6 +67,14 @@ RunOutput run_fig8(std::size_t shards, std::size_t clients) {
   EXPECT_TRUE(swarm.all_complete()) << shards << " shard(s)";
   EXPECT_EQ(platform.trace_dropped(), 0u)
       << "ring wrapped: the byte-identity guarantee needs a larger capacity";
+  if (profile) {
+    // Guard against vacuous identity: the profiled run must have profiled.
+    std::uint64_t recorded = 0;
+    for (std::size_t s = 0; s < platform.profiler().shard_count(); ++s) {
+      recorded += platform.profiler().shard_ring(s).total();
+    }
+    EXPECT_GT(recorded, 0u) << shards << " shard(s)";
+  }
   RunOutput out;
   out.completion_sec = swarm.completion_times_sec();
   out.trace = platform.trace_lines();
@@ -90,6 +100,32 @@ TEST(EngineDeterminism, GoldenTraceIsShardCountInvariant) {
     for (std::size_t i = 0; i < golden.trace.size(); ++i) {
       ASSERT_EQ(golden.trace[i], run.trace[i])
           << "first trace divergence at K=" << k << ", line " << i;
+    }
+  }
+}
+
+TEST(EngineDeterminism, ProfilingIsInvisibleToSimulatedState) {
+  // The profiler's whole contract: wall-clock observation only. A profiled
+  // run at any K must replay the unprofiled K=1 run bit for bit — trace
+  // bytes, completion times and event count — while still having actually
+  // profiled (samples recorded).
+  const std::size_t clients = scenario_clients();
+  const RunOutput golden = run_fig8(1, clients, /*profile=*/false);
+  ASSERT_FALSE(golden.trace.empty());
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    const RunOutput run = run_fig8(k, clients, /*profile=*/true);
+    EXPECT_EQ(golden.completion_sec, run.completion_sec)
+        << "completion times diverged with profiling at K=" << k;
+    EXPECT_EQ(golden.dispatched, run.dispatched)
+        << "event counts diverged with profiling at K=" << k;
+    ASSERT_EQ(golden.trace.size(), run.trace.size())
+        << "trace lengths diverged with profiling at K=" << k;
+    for (std::size_t i = 0; i < golden.trace.size(); ++i) {
+      ASSERT_EQ(golden.trace[i], run.trace[i])
+          << "first trace divergence with profiling at K=" << k
+          << ", line " << i;
     }
   }
 }

@@ -5,6 +5,7 @@
 // and the bench binaries stay interchangeable.
 #include "scenario/parser.hpp"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -234,6 +235,56 @@ TEST(ScenarioParserErrors, UnterminatedQuote) {
             "line 5: unterminated quote");
 }
 
+// -- profiling keys -------------------------------------------------------
+
+TEST(ScenarioParserProfile, ProfileKeyAndPinParse) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario x\n"
+      "[workload]\n"
+      "type swarm\n"
+      "[engine]\n"
+      "profile on\n"
+      "pin off\n");
+  EXPECT_TRUE(spec.engine.profile);
+  ASSERT_TRUE(spec.engine.pin_workers.has_value());
+  EXPECT_FALSE(*spec.engine.pin_workers);
+  EXPECT_EQ(spec.resolved_profile_trace(), "profile.json");
+}
+
+TEST(ScenarioParserProfile, OffByDefaultAndUndeclared) {
+  const ScenarioSpec spec =
+      parse_ok("scenario x\n[workload]\ntype swarm\n");
+  EXPECT_FALSE(spec.engine.profile);
+  EXPECT_FALSE(spec.engine.pin_workers.has_value());
+  EXPECT_EQ(spec.resolved_profile_trace(), "");
+  for (const std::string& file : spec.declared_outputs()) {
+    EXPECT_EQ(file.find("profile"), std::string::npos) << file;
+  }
+}
+
+TEST(ScenarioParserProfile, ProfileTraceOutputImpliesProfiling) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario x\n"
+      "[workload]\n"
+      "type swarm\n"
+      "[outputs]\n"
+      "profile_trace fig_profile.json\n");
+  EXPECT_TRUE(spec.engine.profile);
+  EXPECT_EQ(spec.resolved_profile_trace(), "fig_profile.json");
+  const std::vector<std::string> files = spec.declared_outputs();
+  EXPECT_NE(std::find(files.begin(), files.end(), "fig_profile.json"),
+            files.end());
+}
+
+TEST(ScenarioParserProfile, BadProfileValue) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "[engine]\n"
+                        "profile maybe\n"),
+            "line 5: bad value 'maybe' for profile (expected on|off)");
+}
+
 // -- --set overrides ------------------------------------------------------
 
 TEST(ScenarioParserOverrides, SetRewritesValue) {
@@ -307,6 +358,8 @@ void expect_equivalent(const ScenarioSpec& parsed, const ScenarioSpec& built) {
   EXPECT_EQ(parsed.engine.stop, built.engine.stop);
   EXPECT_EQ(parsed.engine.check_invariants, built.engine.check_invariants);
   EXPECT_EQ(parsed.engine.trace, built.engine.trace);
+  EXPECT_EQ(parsed.engine.profile, built.engine.profile);
+  EXPECT_EQ(parsed.engine.pin_workers, built.engine.pin_workers);
   EXPECT_EQ(parsed.resolved_physical_nodes(), built.resolved_physical_nodes());
   EXPECT_EQ(parsed.faults.churn.enabled, built.faults.churn.enabled);
   EXPECT_EQ(parsed.faults.churn.fraction, built.faults.churn.fraction);

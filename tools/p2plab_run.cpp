@@ -24,7 +24,7 @@ namespace {
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: p2plab_run <file.scn> [--set section.key=value]... "
-               "[--print-outputs]\n");
+               "[--profile] [--print-outputs]\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -34,11 +34,14 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> overrides;
   bool print_outputs = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(stdout);
     if (arg == "--print-outputs") {
       print_outputs = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--set") {
       if (i + 1 == argc) {
         std::fprintf(stderr, "p2plab_run: --set needs section.key=value\n");
@@ -67,6 +70,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   p2plab::scenario::ScenarioSpec spec = std::move(*result.spec);
+  // Applied before --print-outputs so the declared list matches what a
+  // `--profile` run would actually write.
+  if (profile) spec.engine.profile = true;
 
   if (print_outputs) {
     for (const std::string& file : spec.declared_outputs()) {
