@@ -6,8 +6,12 @@
 // reproduces the measurement and several other pair latencies implied by
 // the topology, plus the per-node rule budget of the worked example.
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string_view>
 
 #include "bench_env.hpp"
+#include "core/bench_report.hpp"
 #include "core/platform.hpp"
 #include "metrics/trace.hpp"
 
@@ -17,14 +21,25 @@ namespace {
 Ipv4Addr ip(const char* text) { return *Ipv4Addr::parse(text); }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 7", "emulated topology latency decomposition");
+  const bool profile = bench::profile_enabled(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg != "--profile" && arg.substr(0, 10) != "--profile=") {
+      std::fprintf(stderr, "unknown argument '%s' (supported: "
+                           "--profile[=on|off])\n", argv[i]);
+      return 2;
+    }
+  }
+  bench::WallTimer timer;
   metrics::CsvWriter csv("fig7_topology_latency",
                          {"src", "dst", "rtt_ms", "paper_expected_ms"});
   core::PlatformConfig pconfig{.physical_nodes = 11};
   csv.comment("seed=" + std::to_string(pconfig.seed));
 
   core::Platform platform(topology::figure7(), pconfig);
+  if (profile) platform.enable_profiling();
 
   const struct {
     const char* src;
@@ -54,5 +69,10 @@ int main() {
               fw.rule_count());
   csv.comment("paper decomposition of 853 ms: 20+400+5 out, 425 return, "
               "~3 firewall/underlay overhead");
+  core::write_bench_json(
+      "fig7", "BENCH_fig7",
+      core::bench_fields(platform, "probes",
+                         static_cast<double>(std::size(probes)),
+                         pconfig.seed, timer.elapsed_seconds()));
   return 0;
 }

@@ -14,10 +14,12 @@
 // 10 s grid, plus the maximum relative divergence from the unfolded run.
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "bench_env.hpp"
+#include "core/bench_report.hpp"
 #include "metrics/health.hpp"
 #include "metrics/recorder.hpp"
 #include "metrics/trace.hpp"
@@ -26,9 +28,11 @@
 
 using namespace p2plab;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 9", "folding ratio: 1/10/20/40/80 vnodes per node");
   const std::size_t clients = bench::env_size("P2PLAB_FIG9_CLIENTS", 160);
+  const std::size_t shards = bench::shards(argc, argv);
+  const bool profile = bench::profile_enabled(argc, argv);
   const std::size_t foldings[] = {1, 10, 20, 40, 80};
 
   const Duration step = Duration::sec(10);
@@ -46,35 +50,56 @@ int main() {
       .tracked = {"sim.events.dispatched", "ipfw.rules_scanned",
                   "net.nic.tx_bytes", "net.nic.rx_bytes"}});
 
+  const std::size_t last_fold = foldings[std::size(foldings) - 1];
   for (const std::size_t fold : foldings) {
-    scenario::ExperimentRunner runner(
-        scenario::catalog::fig9_fold(clients, fold));
+    bench::WallTimer fold_timer;
+    scenario::ScenarioSpec spec = scenario::catalog::fig9_fold(clients, fold);
+    spec.engine.shards = shards;
+    spec.engine.profile = profile;
+    scenario::ExperimentRunner runner(std::move(spec));
     content_seed = runner.spec().swarm.content_seed;
     runner.setup();
-    monitor.set_label("fold=" + std::to_string(fold));
-    monitor.start(runner.platform().sim(), runner.registry());
-    runner.execute();
-    monitor.stop();  // final sample; must precede platform destruction
     core::Platform& platform = runner.platform();
-    const SimTime end = platform.sim().now() + step;
+    // The health timeline samples through the classic simulation clock;
+    // under the parallel engine state is per shard, so it stays off.
+    const bool classic = runner.spec().effective_shards() == 0;
+    if (classic) {
+      monitor.set_label("fold=" + std::to_string(fold));
+      monitor.start(platform.sim(), runner.registry());
+    }
+    runner.execute();
+    if (classic) monitor.stop();  // final sample; precedes destruction
+    const SimTime end = platform.now() + step;
     longest_end = std::max(longest_end, end);
     curves.push_back(runner.swarm().total_bytes_curve(step, longest_end));
     // The paper: "we monitored the system load, the memory usage, and the
     // disk I/O on every physical node. None of them was a problem."
+    // (Host CPU accounting also lives in the classic network.)
     double max_cpu = 0.0;
-    for (std::size_t p = 0; p < platform.physical_node_count(); ++p) {
-      max_cpu = std::max(max_cpu,
-                         platform.network().host(p).cpu_utilization());
+    if (classic) {
+      for (std::size_t p = 0; p < platform.physical_node_count(); ++p) {
+        max_cpu = std::max(max_cpu,
+                           platform.network().host(p).cpu_utilization());
+      }
     }
     std::printf("# folding %zux: %zu pnodes, done at %.0f s, %zu/%zu "
                 "complete, max host CPU %.1f%%\n",
                 fold, platform.physical_node_count(),
-                platform.sim().now().to_seconds(),
+                platform.now().to_seconds(),
                 runner.swarm().completed_count(),
                 runner.swarm().client_count(), 100.0 * max_cpu);
     // End-of-run health report: sim-kernel throughput, ipfw scan totals and
     // the per-link byte counters, per fold.
-    monitor.print_report();
+    if (classic) monitor.print_report();
+    if (fold == last_fold) {
+      // Standard run summary from the densest deployment (the paper's
+      // stress case), profiler rollup included under --profile.
+      core::write_bench_json(
+          "fig9", "BENCH_fig9",
+          core::bench_fields(platform, "fold", static_cast<double>(fold),
+                             runner.spec().engine.seed,
+                             fold_timer.elapsed_seconds()));
+    }
   }
   recorder.flush_to_results();
   metrics::FlightRecorder::set_active(nullptr);

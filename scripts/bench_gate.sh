@@ -35,6 +35,15 @@ if [ "${1:-}" = "--scaling" ]; then
   }
   for json in "$@"; do
     [ -s "$json" ] || { echo "REFUSED: $json missing or empty"; exit 2; }
+    # A scaling datapoint must carry the standard schema; a file without
+    # these fields is some other JSON and must not pass silently.
+    for key in shards cores degraded_parallelism events_per_second; do
+      if [ -z "$(field "$json" "$key")" ]; then
+        echo "REFUSED: $json has no \"$key\" field — not a standard" \
+             "BENCH json (see core/bench_report); regenerate it"
+        exit 2
+      fi
+    done
     shards=$(field "$json" shards)
     degraded=$(field "$json" degraded_parallelism)
     if [ "${shards%%.*}" -gt 1 ] && [ "${degraded%%.*}" -eq 1 ] 2>/dev/null; then

@@ -50,9 +50,12 @@ struct PlatformConfig {
   sockets::StreamConfig stream;
   vnode::SyscallCosts syscall_costs;
   /// Queue bound for the per-vnode access pipes. Deliberately larger than
-  /// Dummynet's 50-slot default: our transport has no congestion control,
-  /// so the pipe queue provides the backlog that TCP self-clocking would
-  /// (DESIGN.md §6). Bounded per flow by the transport send window.
+  /// Dummynet's 50-slot default: under the default kFlow transport there
+  /// is no congestion control, so the pipe queue provides the backlog
+  /// that TCP self-clocking would (DESIGN.md §6), bounded per flow by the
+  /// transport send window. Under kTcp (stream.transport) the congestion
+  /// window keeps the queue short on its own; the generous bound is then
+  /// just headroom and never the regulating mechanism (DESIGN.md §13).
   DataSize vnode_pipe_queue = DataSize::mib(8);
   std::uint64_t seed = 1;
   /// Parallel engine shard count; 0 = classic single-threaded mode.

@@ -1,5 +1,8 @@
 #include "scenario/catalog.hpp"
 
+#include "common/assert.hpp"
+#include "topology/parser.hpp"
+
 namespace p2plab::scenario::catalog {
 
 ScenarioSpec fig6() {
@@ -117,6 +120,33 @@ ScenarioSpec flash_crowd() {
   spec.outputs.completion_curve = "flashcrowd_completion_curve";
   spec.outputs.bench_json = "BENCH_flashcrowd";
   spec.outputs.metrics = "flashcrowd_metrics";
+  return spec;
+}
+
+ScenarioSpec accuracy() {
+  ScenarioSpec spec;
+  spec.name = "accuracy";
+  spec.workload = WorkloadType::kValidate;
+  // Built through the same topology-DSL parser the .scn file goes
+  // through, so catalog and file cannot diverge on link semantics.
+  auto topo = topology::parse_topology(
+      "zone senders 10.1.0.0/24 nodes=4 down=8M up=2M latency=20ms\n"
+      "zone sink    10.2.0.0/24 nodes=2 down=2M up=2M latency=30ms\n"
+      "zone far     10.3.0.0/24 nodes=4 down=2M up=512k latency=40ms\n"
+      "latency senders sink 100ms\n"
+      "latency senders far 400ms\n"
+      "latency sink far 200ms\n");
+  P2PLAB_ASSERT(topo.topology.has_value());
+  spec.topology.source = TopologySource::kInline;
+  spec.topology.built = std::move(*topo.topology);
+  spec.validate.nodes = 10;
+  spec.validate.flows = 4;
+  spec.validate.transfer = DataSize::mib(2);
+  spec.validate.message = DataSize::kib(16);
+  spec.validate.loss_datagrams = 20000;
+  spec.engine.transport = TransportModel::kTcp;
+  spec.outputs.accuracy_json = "ACCURACY";
+  spec.outputs.bench_json = "BENCH_accuracy";
   return spec;
 }
 

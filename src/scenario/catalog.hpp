@@ -38,4 +38,9 @@ ScenarioSpec churn_baseline(std::size_t clients = 160);
 /// swarm through.
 ScenarioSpec flash_crowd();
 
+/// The emulator-accuracy harness: goodput / RTT additivity / Jain
+/// fairness / Gilbert-Elliott loss, measured against the configured
+/// topology, under the TCP congestion model (DESIGN.md §13).
+ScenarioSpec accuracy();
+
 }  // namespace p2plab::scenario::catalog

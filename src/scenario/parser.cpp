@@ -182,12 +182,19 @@ const char* const kSwarmKeys[] = {"clients",       "seeders",
                                   "verify_hashes", "max_duration"};
 const char* const kPingKeys[] = {"nodes", "rules_max", "rules_step",
                                  "probes"};
+const char* const kValidateKeys[] = {
+    "nodes",          "flows",         "transfer",
+    "message",        "loss_datagrams", "ge_p_good_bad",
+    "ge_p_bad_good",  "ge_loss_bad",   "goodput_tolerance",
+    "rtt_tolerance",  "loss_tolerance", "jain_min",
+    "expect_bandwidth"};
 const char* const kSwarmOutputKeys[] = {
     "grid",          "progress_envelope", "completions",
     "completions_note", "sampled_progress",  "sampled_every",
     "completion_curve", "completion_curve_note", "summary",
     "metrics",       "trace"};
 const char* const kPingOutputKeys[] = {"csv", "csv_note"};
+const char* const kValidateOutputKeys[] = {"accuracy_json"};
 
 template <std::size_t N>
 bool contains(const char* const (&keys)[N], std::string_view key) {
@@ -476,13 +483,27 @@ ParseResult parse_scenario(std::string_view text,
       spec.workload = WorkloadType::kSwarm;
     } else if (entry->value == "ping_sweep") {
       spec.workload = WorkloadType::kPingSweep;
+    } else if (entry->value == "validate") {
+      spec.workload = WorkloadType::kValidate;
     } else {
       return fail(entry->source,
                   "unknown workload type '" + entry->value + "'");
     }
   }
   const bool is_swarm = spec.workload == WorkloadType::kSwarm;
+  const bool is_ping = spec.workload == WorkloadType::kPingSweep;
   bool ok = true;
+  auto take_probability = [&](KvSection& kv, const char* key, double* out) {
+    if (KvEntry* entry = kv.take(key)) {
+      const auto value = parse_probability(entry->value);
+      if (!value) {
+        return bad(*entry, "bad value '" + entry->value + "' for " +
+                               std::string(key) + " (expected 0..1)");
+      }
+      *out = *value;
+    }
+    return true;
+  };
   if (is_swarm) {
     ok = ok && take_count(c.workload, "clients", [&](std::uint64_t v,
                                                      const KvEntry&) {
@@ -510,7 +531,7 @@ ParseResult parse_scenario(std::string_view text,
                              [&](Duration v, const KvEntry&) {
                                spec.swarm.max_duration = v;
                              });
-  } else {
+  } else if (is_ping) {
     bool nodes_ok = true;
     const KvEntry* nodes_entry = nullptr;
     ok = ok && take_count(c.workload, "nodes",
@@ -541,6 +562,70 @@ ParseResult parse_scenario(std::string_view text,
                           [&](std::uint64_t v, const KvEntry&) {
                             spec.ping.probes = static_cast<std::size_t>(v);
                           });
+  } else {
+    // validate (the accuracy harness)
+    bool nodes_ok = true;
+    const KvEntry* nodes_entry = nullptr;
+    ok = ok && take_count(c.workload, "nodes",
+                          [&](std::uint64_t v, const KvEntry& entry) {
+                            spec.validate.nodes = static_cast<std::size_t>(v);
+                            nodes_entry = &entry;
+                            nodes_ok = v >= 3;
+                          });
+    if (ok && !nodes_ok) {
+      return fail(nodes_entry->source, "validate needs nodes >= 3");
+    }
+    bool flows_ok = true;
+    const KvEntry* flows_entry = nullptr;
+    ok = ok && take_count(c.workload, "flows",
+                          [&](std::uint64_t v, const KvEntry& entry) {
+                            spec.validate.flows = static_cast<std::size_t>(v);
+                            flows_entry = &entry;
+                            flows_ok = v >= 1;
+                          });
+    if (ok && !flows_ok) {
+      return fail(flows_entry->source, "validate needs flows >= 1");
+    }
+    ok = ok && take_size(c.workload, "transfer",
+                         [&](DataSize v) { spec.validate.transfer = v; });
+    ok = ok && take_size(c.workload, "message",
+                         [&](DataSize v) { spec.validate.message = v; });
+    ok = ok && take_count(c.workload, "loss_datagrams",
+                          [&](std::uint64_t v, const KvEntry&) {
+                            spec.validate.loss_datagrams =
+                                static_cast<std::size_t>(v);
+                          });
+    ok = ok && take_probability(c.workload, "ge_p_good_bad",
+                                &spec.validate.ge_p_good_bad);
+    ok = ok && take_probability(c.workload, "ge_p_bad_good",
+                                &spec.validate.ge_p_bad_good);
+    ok = ok && take_probability(c.workload, "ge_loss_bad",
+                                &spec.validate.ge_loss_bad);
+    ok = ok && take_probability(c.workload, "goodput_tolerance",
+                                &spec.validate.goodput_tolerance);
+    ok = ok && take_probability(c.workload, "rtt_tolerance",
+                                &spec.validate.rtt_tolerance);
+    ok = ok && take_probability(c.workload, "loss_tolerance",
+                                &spec.validate.loss_tolerance);
+    ok = ok && take_probability(c.workload, "jain_min",
+                                &spec.validate.jain_min);
+    if (ok) {
+      if (KvEntry* entry = c.workload.take("expect_bandwidth")) {
+        const auto bw = topology::parse_bandwidth(entry->value);
+        if (!bw) {
+          return fail(entry->source, "bad bandwidth '" + entry->value +
+                                         "' for expect_bandwidth");
+        }
+        spec.validate.expect_bandwidth = *bw;
+      }
+      if (spec.validate.flows + 1 > spec.validate.nodes) {
+        const KvEntry* blame =
+            flows_entry != nullptr ? flows_entry : nodes_entry;
+        return fail(blame != nullptr ? blame->source : "[workload]",
+                    "validate needs nodes > flows (a fairness sink besides "
+                    "the sources)");
+      }
+    }
   }
   if (!ok) {
     result.spec.reset();
@@ -548,8 +633,13 @@ ParseResult parse_scenario(std::string_view text,
     return result;
   }
   if (const KvEntry* stray = c.workload.first_unconsumed()) {
-    const bool other_type = is_swarm ? contains(kPingKeys, stray->key)
-                                     : contains(kSwarmKeys, stray->key);
+    const bool other_type =
+        is_swarm ? (contains(kPingKeys, stray->key) ||
+                    contains(kValidateKeys, stray->key))
+        : is_ping ? (contains(kSwarmKeys, stray->key) ||
+                     contains(kValidateKeys, stray->key))
+                  : (contains(kSwarmKeys, stray->key) ||
+                     contains(kPingKeys, stray->key));
     if (other_type) {
       return fail(stray->source,
                   "key '" + stray->key + "' is not valid for workload type " +
@@ -563,6 +653,18 @@ ParseResult parse_scenario(std::string_view text,
   ok = take_count(c.engine, "shards", [&](std::uint64_t v, const KvEntry&) {
     spec.engine.shards = static_cast<std::size_t>(v);
   });
+  const KvEntry* transport_entry = c.engine.take("transport");
+  if (ok && transport_entry != nullptr) {
+    if (transport_entry->value == "flow") {
+      spec.engine.transport = TransportModel::kFlow;
+    } else if (transport_entry->value == "tcp") {
+      spec.engine.transport = TransportModel::kTcp;
+    } else {
+      return fail(transport_entry->source,
+                  "unknown transport '" + transport_entry->value +
+                      "' (tcp|flow)");
+    }
+  }
   const KvEntry* pnodes_entry = c.engine.take("physical_nodes");
   if (ok && pnodes_entry != nullptr && pnodes_entry->value != "auto") {
     const auto value = parse_u64(pnodes_entry->value);
@@ -677,9 +779,12 @@ ParseResult parse_scenario(std::string_view text,
     ok = ok && take_string(c.outputs, "summary", &spec.outputs.summary);
     ok = ok && take_string(c.outputs, "metrics", &spec.outputs.metrics);
     ok = ok && take_string(c.outputs, "trace", &spec.outputs.trace_file);
-  } else {
+  } else if (is_ping) {
     ok = take_string(c.outputs, "csv", &spec.outputs.csv);
     ok = ok && take_string(c.outputs, "csv_note", &spec.outputs.csv_note);
+  } else {
+    ok = take_string(c.outputs, "accuracy_json",
+                     &spec.outputs.accuracy_json);
   }
   ok = ok && take_string(c.outputs, "bench_json", &spec.outputs.bench_json);
   ok = ok && take_string(c.outputs, "profile_trace",
@@ -693,8 +798,12 @@ ParseResult parse_scenario(std::string_view text,
   }
   if (const KvEntry* stray = c.outputs.first_unconsumed()) {
     const bool other_type =
-        is_swarm ? contains(kPingOutputKeys, stray->key)
-                 : contains(kSwarmOutputKeys, stray->key);
+        is_swarm ? (contains(kPingOutputKeys, stray->key) ||
+                    contains(kValidateOutputKeys, stray->key))
+        : is_ping ? (contains(kSwarmOutputKeys, stray->key) ||
+                     contains(kValidateOutputKeys, stray->key))
+                  : (contains(kSwarmOutputKeys, stray->key) ||
+                     contains(kPingOutputKeys, stray->key));
     if (other_type) {
       return fail(stray->source,
                   "key '" + stray->key + "' is not valid for workload type " +

@@ -1,7 +1,5 @@
 #include "scenario/runner.hpp"
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +9,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/bench_report.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/trace.hpp"
 
@@ -22,12 +21,6 @@ double wall_seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
-}
-
-std::size_t peak_rss_bytes() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
 }
 
 }  // namespace
@@ -56,6 +49,9 @@ void ExperimentRunner::setup() {
   pc.seed = spec_.engine.seed;
   pc.shards = shards;
   pc.pin_workers = spec_.engine.pin_workers;
+  pc.stream.transport = spec_.engine.transport == TransportModel::kTcp
+                            ? sockets::TransportModel::kTcp
+                            : sockets::TransportModel::kFlow;
   platform_ = std::make_unique<core::Platform>(topo, pc);
   if (spec_.engine.trace) platform_->enable_tracing();
   if (spec_.engine.profile) {
@@ -159,8 +155,12 @@ void ExperimentRunner::setup_faults() {
 
 int ExperimentRunner::execute() {
   P2PLAB_ASSERT(set_up_);
-  return spec_.workload == WorkloadType::kSwarm ? execute_swarm()
-                                                : execute_ping();
+  switch (spec_.workload) {
+    case WorkloadType::kSwarm: return execute_swarm();
+    case WorkloadType::kPingSweep: return execute_ping();
+    case WorkloadType::kValidate: return execute_validate();
+  }
+  return 1;
 }
 
 int ExperimentRunner::run() {
@@ -409,76 +409,20 @@ int ExperimentRunner::execute_ping() {
   return 0;
 }
 
-// The standardized BENCH_*.json schema every scenario emits: one flat JSON
-// object with the scenario name, the workload's scale field (clients /
-// rules_max), and the run economics. Numbers print with 15 significant
-// digits so event counts up to 2^53 survive the double round-trip.
+// The standardized BENCH_*.json run summary (core/bench_report.hpp): one
+// flat JSON object with the scenario name, the workload's scale field
+// (clients / rules_max / flows) and the run economics.
 void ExperimentRunner::write_bench_json(double wall_seconds,
                                         double scale_field) {
-  const double events =
-      static_cast<double>(platform_->dispatched_events());
   const char* scale_key =
-      spec_.workload == WorkloadType::kSwarm ? "clients" : "rules_max";
-  // "cores" is the real online core count (the process affinity mask), not
-  // hardware_concurrency: a cgroup-limited CI box may advertise 16 cores
-  // while only 2 are schedulable, and scaling plots keyed on the wrong
-  // number are worse than none. degraded_parallelism flags shards > cores:
-  // the workers time-slice, so wall-clock is not a parallel datapoint.
-  const std::size_t shards = platform_->shard_count();
-  const int online = profile::Profiler::online_cores();
-  const bool degraded =
-      shards > 1 && online < static_cast<int>(shards);
-  std::vector<std::pair<std::string, double>> fields = {
-      {scale_key, scale_field},
-      {"shards", static_cast<double>(shards)},
-      {"cores", static_cast<double>(online)},
-      {"degraded_parallelism", degraded ? 1.0 : 0.0},
-      {"seed", static_cast<double>(spec_.engine.seed)},
-      {"events", events},
-      {"wall_seconds", wall_seconds},
-      {"events_per_second", wall_seconds > 0 ? events / wall_seconds : 0},
-      {"peak_rss_bytes", static_cast<double>(peak_rss_bytes())}};
-  if (platform_->profiling()) {
-    const profile::Rollup roll = platform_->profiler().rollup();
-    const std::vector<int> cpus = platform_->worker_cpus();
-    bool pinned = false;
-    for (std::size_t s = 0; s < roll.shards.size(); ++s) {
-      const profile::ShardRollup& sh = roll.shards[s];
-      const std::string prefix = "shard" + std::to_string(s) + "_";
-      fields.emplace_back(prefix + "utilization_pct", sh.utilization_pct);
-      fields.emplace_back(prefix + "user_s", sh.stats.user_s);
-      fields.emplace_back(prefix + "sys_s", sh.stats.sys_s);
-      const int cpu = s < cpus.size() ? cpus[s] : -1;
-      fields.emplace_back(prefix + "cpu", static_cast<double>(cpu));
-      pinned = pinned || cpu >= 0;
-    }
-    fields.emplace_back("pinned", pinned ? 1.0 : 0.0);
-    fields.emplace_back("barrier_wait_share", roll.barrier_wait_share);
-    fields.emplace_back("merge_share", roll.merge_share);
-    fields.emplace_back("imbalance_ratio", roll.imbalance_ratio);
-    fields.emplace_back("profile_ring_dropped",
-                        static_cast<double>(roll.ring_dropped));
-  }
-  std::string json = "{\"scenario\": \"" + spec_.name + "\"";
-  char buffer[64];
-  for (const auto& [key, value] : fields) {
-    std::snprintf(buffer, sizeof(buffer), "%.15g", value);
-    json += ", \"" + std::string(key) + "\": " + buffer;
-  }
-  json += "}";
-  const std::string& name = spec_.outputs.bench_json;
-  std::printf("# %s %s\n", name.c_str(), json.c_str());
-  if (const char* dir = std::getenv("P2PLAB_RESULTS_DIR")) {
-    const std::string path = std::string(dir) + "/" + name + ".json";
-    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fprintf(f, "%s\n", json.c_str());
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr,
-                   "# P2PLAB_RESULTS_DIR=%s is not writable; %s only on "
-                   "stdout\n", dir, name.c_str());
-    }
-  }
+      spec_.workload == WorkloadType::kSwarm
+          ? "clients"
+          : spec_.workload == WorkloadType::kPingSweep ? "rules_max"
+                                                       : "flows";
+  core::write_bench_json(
+      spec_.name, spec_.outputs.bench_json,
+      core::bench_fields(*platform_, scale_key, scale_field,
+                         spec_.engine.seed, wall_seconds));
 }
 
 }  // namespace p2plab::scenario

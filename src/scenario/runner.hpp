@@ -27,6 +27,8 @@
 
 namespace p2plab::scenario {
 
+struct InvariantResult;  // validate.hpp
+
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(ScenarioSpec spec);
@@ -63,7 +65,10 @@ class ExperimentRunner {
   void setup_faults();
   int execute_swarm();
   int execute_ping();
+  int execute_validate();  // validate.cpp
   void write_swarm_outputs(double wall_seconds);
+  void write_accuracy_json(const std::vector<InvariantResult>& results,
+                           bool pass);  // validate.cpp
   void write_profile_outputs();
   void write_bench_json(double wall_seconds, double scale_field);
 

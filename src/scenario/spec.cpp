@@ -6,6 +6,7 @@ const char* workload_type_name(WorkloadType type) {
   switch (type) {
     case WorkloadType::kSwarm: return "swarm";
     case WorkloadType::kPingSweep: return "ping_sweep";
+    case WorkloadType::kValidate: return "validate";
   }
   return "unknown";
 }
@@ -29,6 +30,9 @@ std::vector<std::string> ScenarioSpec::declared_outputs() const {
   csv_file(outputs.csv);
   // The health monitor samples from inside one simulation: classic only.
   if (effective_shards() == 0) csv_file(outputs.metrics);
+  if (!outputs.accuracy_json.empty()) {
+    files.push_back(outputs.accuracy_json + ".json");
+  }
   if (!outputs.bench_json.empty()) {
     files.push_back(outputs.bench_json + ".json");
   }

@@ -40,9 +40,54 @@ struct TopologySection {
 enum class WorkloadType {
   kSwarm,      // the BitTorrent swarm experiments (Figs 8-11, churn)
   kPingSweep,  // the firewall-rule RTT sweep (Fig 6)
+  kValidate,   // the emulator-accuracy harness (scenarios/accuracy.scn)
 };
 
 const char* workload_type_name(WorkloadType type);
+
+/// Parameters of the kValidate workload: the self-validating accuracy
+/// harness (DESIGN.md §13). It derives its expectations from the configured
+/// topology — bottleneck bandwidths, path latencies — runs single-flow and
+/// N-flow transfers plus datagram probes over the real socket/pipe stack,
+/// and fails the run (nonzero exit, per-invariant diagnostics, ACCURACY
+/// json) when the emulator's measurements leave the tolerance bands.
+struct ValidateParams {
+  /// Virtual nodes the harness occupies; an inline topology must provide
+  /// at least this many. Node roles are positional: fairness sources are
+  /// the first `flows` nodes of zone 0, the fairness sink is the first
+  /// node of zone 1 (last node of zone 0 when only one zone exists), and
+  /// the Gilbert-Elliott probe target is the last node overall.
+  std::size_t nodes = 8;
+  /// Competing flows of the Jain-fairness phase.
+  std::size_t flows = 4;
+  /// Application bytes per stream transfer.
+  DataSize transfer = DataSize::mib(2);
+  /// Application message size of the stream transfers.
+  DataSize message = DataSize::kib(16);
+  /// Datagrams of the Gilbert-Elliott loss phase.
+  std::size_t loss_datagrams = 20000;
+  /// Gilbert-Elliott parameters injected on the probe target's access
+  /// link for the loss phase (fault-overlay path, like `burst` faults).
+  double ge_p_good_bad = 0.02;
+  double ge_p_bad_good = 0.25;
+  double ge_loss_bad = 0.9;
+  // Tolerances (relative error bands; jain_min is an absolute floor).
+  double goodput_tolerance = 0.12;
+  double rtt_tolerance = 0.10;
+  double loss_tolerance = 0.25;
+  double jain_min = 0.95;
+  /// Control knob for CI's deliberately mis-configured case: when set,
+  /// goodput expectations use this bandwidth instead of the topology's
+  /// bottleneck — a mismatch must fail loudly.
+  Bandwidth expect_bandwidth = Bandwidth::unlimited();
+};
+
+/// Which congestion regime stream sockets run (DESIGN.md §13); maps onto
+/// sockets::TransportModel in PlatformConfig::stream.
+enum class TransportModel {
+  kFlow,  // windowed flow model; DRR in the pipes provides fairness
+  kTcp,   // NewReno-style slow start / AIMD / fast retransmit
+};
 
 /// Parameters of the kPingSweep workload: two (or more) nodes, rules padded
 /// onto node 0's firewall in `rules_step` increments up to `rules_max`,
@@ -89,6 +134,8 @@ enum class StopMode {
 struct EngineSection {
   /// Parallel-engine shard count; 0 = classic single-threaded path.
   std::size_t shards = 0;
+  /// Stream-transport congestion regime (`transport tcp|flow`).
+  TransportModel transport = TransportModel::kFlow;
   /// Physical cluster size; unset = one physical node per virtual node.
   std::optional<std::size_t> physical_nodes;
   /// Alternative: fold K virtual nodes per physical node (ceil division).
@@ -128,6 +175,8 @@ struct OutputsSection {
   // Ping-sweep output.
   std::string csv;
   std::string csv_note;
+  // Validate output: the per-invariant accuracy verdict (name + ".json").
+  std::string accuracy_json;
   // Cross-workload outputs.
   std::string bench_json;  // standardized BENCH_*.json run summary
   std::string profile_trace;  // Perfetto timeline (full filename)
@@ -140,14 +189,19 @@ struct ScenarioSpec {
   WorkloadType workload = WorkloadType::kSwarm;
   bt::SwarmConfig swarm;
   PingSweepParams ping;
+  ValidateParams validate;
   FaultsSection faults;
   EngineSection engine;
   OutputsSection outputs;
 
   /// Virtual nodes the workload occupies.
   std::size_t vnodes() const {
-    return workload == WorkloadType::kSwarm ? bt::swarm_vnodes(swarm)
-                                            : ping.nodes;
+    switch (workload) {
+      case WorkloadType::kSwarm: return bt::swarm_vnodes(swarm);
+      case WorkloadType::kPingSweep: return ping.nodes;
+      case WorkloadType::kValidate: return validate.nodes;
+    }
+    return 0;
   }
 
   /// Physical cluster size after resolving auto/fold.

@@ -37,6 +37,9 @@ void SocketManager::bind_metrics(metrics::Registry& reg) {
   metrics_.bytes_received = reg.counter("sockets.bytes_received");
   metrics_.retransmits = reg.counter("sockets.retransmits");
   metrics_.backpressure_stalls = reg.counter("sockets.backpressure_stalls");
+  metrics_.fast_retransmits = reg.counter("sockets.fast_retransmits");
+  metrics_.rto_recoveries = reg.counter("sockets.rto_recoveries");
+  metrics_.cwnd_halvings = reg.counter("sockets.cwnd_halvings");
 }
 
 std::uint16_t SocketManager::alloc_ephemeral_port(Ipv4Addr addr,
@@ -131,7 +134,21 @@ void SocketManager::abort_endpoints_of(Ipv4Addr addr) {
 // ----------------------------------------------------------------- socket
 
 StreamSocket::StreamSocket(SocketManager& mgr, net::Host& host)
-    : mgr_(mgr), host_(host) {}
+    : mgr_(mgr), host_(host) {
+  const StreamConfig& cfg = mgr_.stream_config();
+  cwnd_ = tcp_mode() ? cfg.tcp_initial_cwnd.count_bytes()
+                     : cfg.send_window.count_bytes();
+  ssthresh_ = cfg.send_window.count_bytes();
+}
+
+bool StreamSocket::tcp_mode() const {
+  return mgr_.stream_config().transport == TransportModel::kTcp;
+}
+
+std::uint64_t StreamSocket::effective_window() const {
+  const std::uint64_t wnd = mgr_.stream_config().send_window.count_bytes();
+  return tcp_mode() ? std::min(wnd, cwnd_) : wnd;
+}
 
 StreamSocket::~StreamSocket() {
   if (state_ != State::kClosed) teardown();
@@ -234,8 +251,11 @@ void StreamSocket::teardown() {
 void StreamSocket::pump() {
   if (state_ != State::kEstablished && state_ != State::kSynReceived) return;
   bool sent = false;
-  while (!pending_.empty() &&
-         inflight_bytes_ < mgr_.stream_config().send_window.count_bytes()) {
+  // Under kTcp the congestion window can shrink below one message; an
+  // empty flight still always admits one message so the connection cannot
+  // deadlock on cwnd.
+  const std::uint64_t window = effective_window();
+  while (!pending_.empty() && inflight_bytes_ < window) {
     Message message = std::move(pending_.front());
     pending_.pop_front();
     pending_bytes_ -= message.size.count_bytes();
@@ -243,7 +263,8 @@ void StreamSocket::pump() {
     inflight_bytes_ += message.size.count_bytes();
     mgr_.metrics().msgs_sent.inc();
     mgr_.metrics().bytes_sent.inc(message.size.count_bytes());
-    inflight_.push_back(InFlight{seq, message, mgr_.sim().now(), false});
+    const SimTime now = mgr_.sim().now();
+    inflight_.push_back(InFlight{seq, message, now, now, false});
     transmit_data(seq, message);
     sent = true;
   }
@@ -448,41 +469,149 @@ void StreamSocket::on_ack(std::uint64_t cumulative) {
   bool progressed = false;
   bool rtt_sample_valid = false;
   SimTime sample_sent_at;
+  bool have_clamp_sample = false;
+  SimTime clamp_first_sent_at;
+  std::uint64_t acked_bytes = 0;
   while (!inflight_.empty() && inflight_.front().seq < cumulative) {
     const InFlight& entry = inflight_.front();
     inflight_bytes_ -= entry.message.size.count_bytes();
+    acked_bytes += entry.message.size.count_bytes();
     if (!entry.retransmitted) {  // Karn's rule
       rtt_sample_valid = true;
       sample_sent_at = entry.sent_at;
+    } else {
+      have_clamp_sample = true;
+      clamp_first_sent_at = entry.first_sent_at;
     }
     inflight_.pop_front();
     progressed = true;
   }
-  if (progressed) {
-    // Only a clean (never-retransmitted) sample proves the current RTO is
-    // adequate; resetting the backoff on *any* progress would let a
-    // spurious-retransmission cycle sustain itself (Karn's rule blocks the
-    // samples that would otherwise raise the estimate).
-    if (rtt_sample_valid) {
-      backoff_ = 0;
-      consecutive_timeouts_ = 0;
-    }
-    last_progress_ = mgr_.sim().now();
-    if (rtt_sample_valid) observe_rtt(mgr_.sim().now() - sample_sent_at);
-    pump();
-    if (!inflight_.empty()) {
-      arm_timer(inflight_.front().sent_at + rto());
-    }
-    if (on_writable_ && unsent_bytes() <= writable_watermark_) {
-      auto handler = on_writable_;  // may replace itself
-      handler();
-    }
-  }
   if (!progressed) {
-    // Duplicate ack: the receiver saw something out of order or redundant;
-    // no action needed — recovery is timeout-driven.
+    // No cumulative progress: the receiver saw something out of order or
+    // redundant. Under kFlow recovery stays timeout-driven; under kTcp the
+    // third duplicate of the highest ack we have already seen signals a
+    // hole at the front of the flight and triggers fast retransmit.
+    if (!tcp_mode() || state_ != State::kEstablished || inflight_.empty() ||
+        cumulative != inflight_.front().seq) {
+      return;
+    }
+    if (cumulative != last_cumulative_) {
+      // First ack at this level (e.g. the handshake ack); only repeats of
+      // it count as duplicates.
+      last_cumulative_ = cumulative;
+      dup_acks_ = 0;
+      return;
+    }
+    ++dup_acks_;
+    if (dup_acks_ == mgr_.stream_config().tcp_dupack_threshold &&
+        !in_recovery_) {
+      enter_loss_recovery(/*fast=*/true);
+    }
     return;
   }
+  last_cumulative_ = std::max(last_cumulative_, cumulative);
+  dup_acks_ = 0;
+  // Only a clean (never-retransmitted) sample proves the current RTO is
+  // adequate; resetting the backoff on *any* progress would let a
+  // spurious-retransmission cycle sustain itself (Karn's rule blocks the
+  // samples that would otherwise raise the estimate).
+  if (rtt_sample_valid) {
+    backoff_ = 0;
+    consecutive_timeouts_ = 0;
+    observe_rtt(mgr_.sim().now() - sample_sent_at);
+  } else if (tcp_mode()) {
+    // Under kTcp, ack silence — not sample cleanliness — is the abort
+    // criterion (see last_progress_): any cumulative progress proves the
+    // peer is alive, so a fault window full of retransmitted-only acks
+    // must not accumulate toward the ETIMEDOUT abort.
+    consecutive_timeouts_ = 0;
+    if (have_clamp_sample) {
+      // Karn-clamp: every popped segment was retransmitted, so no sample
+      // is unambiguous — but (now - first transmission) is a hard upper
+      // bound on the path RTT whichever copy this ack answers. Feeding it
+      // in the raising direction only lets the estimator learn that the
+      // path got *slower* (a latency-spike fault window) instead of
+      // staying pinned at the pre-spike RTO and re-sending the window
+      // once per timeout for the whole spike. kFlow keeps its historical
+      // timeout dynamics untouched — fig8's flow-model output is pinned
+      // byte-for-byte by the scenario suite.
+      const Duration upper = mgr_.sim().now() - clamp_first_sent_at;
+      if (upper.to_seconds() > srtt_s_) observe_rtt(upper);
+    }
+  }
+  last_progress_ = mgr_.sim().now();
+  if (tcp_mode()) {
+    const StreamConfig& cfg = mgr_.stream_config();
+    const std::uint64_t mss = cfg.tcp_mss.count_bytes();
+    const std::uint64_t cap = cfg.send_window.count_bytes();
+    if (in_recovery_) {
+      if (cumulative >= recovery_point_) {
+        // Full ack: everything outstanding at the loss is repaired.
+        in_recovery_ = false;
+        cwnd_ = std::max(ssthresh_, mss);
+        ca_credit_ = 0;
+      } else if (!inflight_.empty()) {
+        // NewReno partial ack: the next hole was lost in the same event;
+        // retransmit it now instead of waiting for three more dup-acks.
+        InFlight& front = inflight_.front();
+        front.sent_at = mgr_.sim().now();
+        front.retransmitted = true;
+        mgr_.metrics().retransmits.inc();
+        bytes_sent_ -= front.message.size.count_bytes();  // recounted below
+        transmit_data(front.seq, front.message);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cwnd_ + acked_bytes, cap);  // slow start
+    } else {
+      // Congestion avoidance, byte-counted: +1 MSS per cwnd of acked data.
+      ca_credit_ += acked_bytes;
+      while (ca_credit_ >= cwnd_) {
+        ca_credit_ -= cwnd_;
+        cwnd_ = std::min(cwnd_ + mss, cap);
+      }
+    }
+  }
+  pump();
+  if (!inflight_.empty()) {
+    arm_timer(inflight_.front().sent_at + rto());
+  }
+  if (on_writable_ && unsent_bytes() <= writable_watermark_) {
+    auto handler = on_writable_;  // may replace itself
+    handler();
+  }
+}
+
+void StreamSocket::enter_loss_recovery(bool fast) {
+  const StreamConfig& cfg = mgr_.stream_config();
+  const std::uint64_t mss = cfg.tcp_mss.count_bytes();
+  ssthresh_ = std::max(inflight_bytes_ / 2, 2 * mss);
+  mgr_.metrics().cwnd_halvings.inc();
+  if (fast) {
+    // Fast retransmit / NewReno fast recovery: halve and repair the front
+    // hole; recovery ends when everything in flight at this point is acked.
+    mgr_.metrics().fast_retransmits.inc();
+    cwnd_ = ssthresh_;
+    in_recovery_ = true;
+    recovery_point_ = next_seq_;
+  } else {
+    // RTO: collapse to one MSS and slow-start back. Only the oldest
+    // segment is resent; later holes are repaired by dup-acks or further
+    // timeouts, never by a go-back-N whole-window burst.
+    mgr_.metrics().rto_recoveries.inc();
+    cwnd_ = mss;
+    in_recovery_ = false;
+    dup_acks_ = 0;
+  }
+  ca_credit_ = 0;
+  if (!inflight_.empty()) {
+    InFlight& front = inflight_.front();
+    front.sent_at = mgr_.sim().now();
+    front.retransmitted = true;
+    mgr_.metrics().retransmits.inc();
+    bytes_sent_ -= front.message.size.count_bytes();  // recounted below
+    transmit_data(front.seq, front.message);
+  }
+  arm_timer(mgr_.sim().now() + rto());
 }
 
 Duration StreamSocket::rto() const {
@@ -575,9 +704,14 @@ void StreamSocket::timer_fired() {
     }
     return;
   }
-  // Go-back-N: retransmit the whole window.
   ++backoff_;
   if (backoff_ > 8) backoff_ = 8;
+  if (tcp_mode()) {
+    // RTO under kTcp: multiplicative decrease + single-segment repair.
+    enter_loss_recovery(/*fast=*/false);
+    return;
+  }
+  // kFlow go-back-N: retransmit the whole window.
   for (InFlight& entry : inflight_) {
     entry.sent_at = now;
     entry.retransmitted = true;

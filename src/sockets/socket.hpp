@@ -11,9 +11,19 @@
 //   - a byte-windowed sender (default 256 KiB) with cumulative ACKs;
 //   - go-back-N retransmission on RTO (RTT estimated per Jacobson/Karn);
 //   - FIN teardown notifying the remote's on_close.
-// It is deliberately not TCP: no congestion control. Fair sharing of
-// bottleneck links across connections — TCP's role on the real platform —
-// is provided by deficit-round-robin in the Dummynet pipes (DESIGN.md §6).
+// Two selectable congestion regimes (StreamConfig::transport, DESIGN.md
+// §13):
+//   - kFlow (default): no congestion control; fair sharing of bottleneck
+//     links across connections — TCP's role on the real platform — is
+//     provided by deficit-round-robin in the Dummynet pipes (DESIGN.md §6).
+//   - kTcp: a loss-and-RTT-responsive NewReno-style model. Slow start and
+//     AIMD congestion avoidance grow a byte-counted cwnd; three duplicate
+//     cumulative ACKs trigger fast retransmit (ssthresh = flight/2, cwnd =
+//     ssthresh) ahead of the RTO path, which collapses cwnd to one MSS and
+//     retransmits only the oldest segment (the rest recover via further
+//     dup-acks or timeouts instead of a go-back-N burst).
+// Both regimes share the sequencing, RTO and teardown machinery and are
+// deterministic: same inputs, same shard count, bit-identical schedules.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +54,20 @@ using DatagramSocketPtr = std::shared_ptr<DatagramSocket>;
 /// Transport protocol namespaces share the address space but not ports.
 enum class Proto : std::uint8_t { kTcp = 0, kUdp = 1 };
 
+/// Which congestion regime the stream sender runs (see the header comment).
+enum class TransportModel : std::uint8_t { kFlow = 0, kTcp = 1 };
+
 struct StreamConfig {
+  TransportModel transport = TransportModel::kFlow;
   DataSize send_window = DataSize::kib(256);
+  /// kTcp only: the byte-counting unit for cwnd growth (one "segment" of
+  /// congestion-avoidance credit per cwnd of acked bytes). Messages are
+  /// application-sized, so this is an accounting unit, not a wire MTU.
+  DataSize tcp_mss = DataSize::bytes(1460);
+  /// kTcp only: initial congestion window (RFC 6928's IW10).
+  DataSize tcp_initial_cwnd = DataSize::bytes(14600);
+  /// kTcp only: duplicate cumulative ACKs that trigger fast retransmit.
+  int tcp_dupack_threshold = 3;
   /// RFC 6298's conservative floor. Access links here serialize a 16 KiB
   /// message in over a second, so an aggressive floor guarantees spurious
   /// retransmission storms from the handshake-derived RTT.
@@ -74,8 +96,11 @@ struct SocketMetrics {
   metrics::Counter msgs_received;
   metrics::Counter bytes_sent;
   metrics::Counter bytes_received;
-  metrics::Counter retransmits;          // go-back-N segments resent
+  metrics::Counter retransmits;          // segments resent (RTO or fast)
   metrics::Counter backpressure_stalls;  // pump left data queued (full window)
+  metrics::Counter fast_retransmits;  // kTcp: triple-dup-ack retransmissions
+  metrics::Counter rto_recoveries;    // kTcp: RTOs that collapsed cwnd to 1 MSS
+  metrics::Counter cwnd_halvings;     // kTcp: ssthresh reductions (any cause)
 };
 
 /// Owns the port table and transport-wide configuration for one network.
@@ -187,6 +212,10 @@ class StreamSocket final : public SocketManager::Endpoint,
   }
   /// Smoothed RTT estimate; zero until the first measurement.
   Duration srtt() const { return Duration::seconds(srtt_s_); }
+  /// Congestion window / slow-start threshold in bytes (kTcp; under kFlow
+  /// cwnd() reports the static send window and ssthresh() is unused).
+  std::uint64_t cwnd() const { return cwnd_; }
+  std::uint64_t ssthresh() const { return ssthresh_; }
 
   void handle_packet(net::Packet&& packet) override;
   void abort_for_crash() override;
@@ -236,11 +265,18 @@ class StreamSocket final : public SocketManager::Endpoint,
   std::uint16_t remote_port_ = 0;
   std::uint64_t conn_id_ = 0;
 
+  bool tcp_mode() const;
+  /// Bytes the sender may keep in flight right now: the static send window
+  /// under kFlow, min(send_window, cwnd) under kTcp.
+  std::uint64_t effective_window() const;
+  void enter_loss_recovery(bool fast);
+
   // Sender.
   struct InFlight {
     std::uint64_t seq;
     Message message;
-    SimTime sent_at;
+    SimTime sent_at;        // most recent (re)transmission
+    SimTime first_sent_at;  // original transmission (Karn-clamp fallback)
     bool retransmitted = false;
   };
   std::deque<Message> pending_;
@@ -250,6 +286,18 @@ class StreamSocket final : public SocketManager::Endpoint,
   std::uint64_t next_seq_ = 1;
   std::uint64_t writable_watermark_ = 0;
   VoidHandler on_writable_;
+
+  // Congestion control (kTcp; idle under kFlow). cwnd_/ssthresh_ are
+  // byte-counted; ca_credit_ accumulates acked bytes in congestion
+  // avoidance until a full cwnd has been acked (≈ +1 MSS per RTT), keeping
+  // the growth rule in integer arithmetic for bit-identical replays.
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = 0;
+  std::uint64_t ca_credit_ = 0;
+  std::uint64_t last_cumulative_ = 0;  // highest cumulative ack seen
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;  // NewReno: recovery ends at this seq
 
   // Receiver.
   std::uint64_t expected_seq_ = 1;

@@ -50,11 +50,12 @@ struct RunOutput {
 };
 
 RunOutput run_fig8(std::size_t shards, std::size_t clients,
-                   bool profile = false) {
+                   bool profile = false, bool tcp = false) {
   core::PlatformConfig pc;
   pc.physical_nodes = 8;
   pc.seed = 7;
   pc.shards = shards;
+  if (tcp) pc.stream.transport = sockets::TransportModel::kTcp;
   const bt::SwarmConfig config = fig8_swarm(clients);
   core::Platform platform(topology::homogeneous_dsl(bt::swarm_vnodes(config)),
                           pc);
@@ -100,6 +101,32 @@ TEST(EngineDeterminism, GoldenTraceIsShardCountInvariant) {
     for (std::size_t i = 0; i < golden.trace.size(); ++i) {
       ASSERT_EQ(golden.trace[i], run.trace[i])
           << "first trace divergence at K=" << k << ", line " << i;
+    }
+  }
+}
+
+TEST(EngineDeterminism, TcpTransportIsShardCountInvariant) {
+  // The congestion model keeps per-connection state (cwnd, dup-ack counts,
+  // recovery windows) whose updates are driven by ack arrival order — the
+  // exact thing the shard partition must not perturb. Same golden-trace
+  // bar as the flow model: K = 2, 4 replay K = 1 bit for bit.
+  const std::size_t clients = scenario_clients();
+  const RunOutput golden =
+      run_fig8(1, clients, /*profile=*/false, /*tcp=*/true);
+  ASSERT_FALSE(golden.trace.empty());
+  ASSERT_EQ(golden.completion_sec.size(), clients);
+
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const RunOutput run = run_fig8(k, clients, /*profile=*/false, /*tcp=*/true);
+    EXPECT_EQ(golden.completion_sec, run.completion_sec)
+        << "completion times diverged at K=" << k << " under tcp";
+    EXPECT_EQ(golden.dispatched, run.dispatched)
+        << "event counts diverged at K=" << k << " under tcp";
+    ASSERT_EQ(golden.trace.size(), run.trace.size())
+        << "trace lengths diverged at K=" << k << " under tcp";
+    for (std::size_t i = 0; i < golden.trace.size(); ++i) {
+      ASSERT_EQ(golden.trace[i], run.trace[i])
+          << "first trace divergence at K=" << k << " under tcp, line " << i;
     }
   }
 }

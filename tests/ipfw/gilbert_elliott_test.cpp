@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace p2plab::ipfw {
@@ -136,6 +137,60 @@ TEST_F(GilbertElliottTest, ChainStateSurvivesReconfigure) {
   // p_bad_to_good=0.001: had the chain reset to good, p_good_to_bad=0.5
   // would still lose far fewer than the ~all-lost of a bad-state chain.
   EXPECT_GT(losses, 150);
+}
+
+TEST_F(GilbertElliottTest, BurstLengthsPassChiSquareAgainstGeometric) {
+  // The accuracy harness (DESIGN.md §13) trusts the G-E implementation for
+  // its loss invariant; this pins the full distribution, not just moments.
+  // With loss_bad=1, burst lengths are the bad-state sojourn: geometric
+  // with P(L=k) = pbg*(1-pbg)^(k-1). Seeded, so the statistic is a fixed
+  // number — the threshold is chi-square df=8, p=0.001.
+  const double pgb = 0.02, pbg = 0.25;
+  Pipe pipe(sim, ge_config(pgb, pbg, 1.0), Rng{20260809});
+  const int n = 80000;
+  const auto dropped = run_segments(pipe, n);
+
+  std::vector<int> bursts;
+  int losses = 0, current = 0;
+  for (const bool d : dropped) {
+    losses += d;
+    if (d) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) bursts.push_back(current);
+
+  // Observed loss rate vs the chain's stationary bad share.
+  EXPECT_NEAR(static_cast<double>(losses) / n, pgb / (pgb + pbg), 0.01);
+
+  // Mean burst length vs 1/pbg.
+  ASSERT_GT(bursts.size(), 1000u);
+  double mean = 0;
+  for (const int b : bursts) mean += b;
+  mean /= static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, 1.0 / pbg, 0.1 / pbg);  // within 10%
+
+  // Chi-square over bins {1..8, >=9}. Expected counts under the geometric
+  // law all exceed ~45, comfortably above the >=5 rule of thumb.
+  constexpr int kBins = 8;
+  double observed[kBins + 1] = {};
+  for (const int b : bursts) ++observed[b <= kBins ? b - 1 : kBins];
+  const double total = static_cast<double>(bursts.size());
+  double chi2 = 0, tail_p = 1.0;
+  for (int k = 0; k < kBins; ++k) {
+    const double p_k = pbg * std::pow(1.0 - pbg, k);
+    tail_p -= p_k;
+    const double expected = total * p_k;
+    chi2 += (observed[k] - expected) * (observed[k] - expected) / expected;
+  }
+  const double expected_tail = total * tail_p;
+  chi2 += (observed[kBins] - expected_tail) * (observed[kBins] - expected_tail)
+          / expected_tail;
+  EXPECT_LT(chi2, 26.12) << "burst lengths deviate from Geometric(p_bad_to_"
+                            "good) at the p=0.001 level";
 }
 
 TEST_F(GilbertElliottTest, AdminDownDropsEverythingUntilRestored) {

@@ -96,6 +96,107 @@ TEST(ScenarioParser, ParseDataSizeUnits) {
   EXPECT_FALSE(parse_data_size("bogus"));
 }
 
+// -- validate workload (the accuracy harness) -----------------------------
+
+TEST(ScenarioParserValidate, AllKeysParse) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario acc\n"
+      "[workload]\n"
+      "type validate\n"
+      "nodes 6\n"
+      "flows 3\n"
+      "transfer 4M\n"
+      "message 32k\n"
+      "loss_datagrams 5000\n"
+      "ge_p_good_bad 0.05\n"
+      "ge_p_bad_good 0.5\n"
+      "ge_loss_bad 0.8\n"
+      "goodput_tolerance 0.2\n"
+      "rtt_tolerance 0.15\n"
+      "loss_tolerance 0.3\n"
+      "jain_min 0.9\n"
+      "[engine]\n"
+      "transport tcp\n"
+      "[outputs]\n"
+      "accuracy_json ACC\n");
+  EXPECT_EQ(spec.workload, WorkloadType::kValidate);
+  EXPECT_EQ(spec.validate.nodes, 6u);
+  EXPECT_EQ(spec.validate.flows, 3u);
+  EXPECT_EQ(spec.validate.transfer.count_bytes(),
+            DataSize::mib(4).count_bytes());
+  EXPECT_EQ(spec.validate.message.count_bytes(),
+            DataSize::kib(32).count_bytes());
+  EXPECT_EQ(spec.validate.loss_datagrams, 5000u);
+  EXPECT_DOUBLE_EQ(spec.validate.ge_p_good_bad, 0.05);
+  EXPECT_DOUBLE_EQ(spec.validate.ge_p_bad_good, 0.5);
+  EXPECT_DOUBLE_EQ(spec.validate.ge_loss_bad, 0.8);
+  EXPECT_DOUBLE_EQ(spec.validate.goodput_tolerance, 0.2);
+  EXPECT_DOUBLE_EQ(spec.validate.rtt_tolerance, 0.15);
+  EXPECT_DOUBLE_EQ(spec.validate.loss_tolerance, 0.3);
+  EXPECT_DOUBLE_EQ(spec.validate.jain_min, 0.9);
+  EXPECT_EQ(spec.engine.transport, TransportModel::kTcp);
+  EXPECT_EQ(spec.vnodes(), 6u);
+  const std::vector<std::string> files = spec.declared_outputs();
+  EXPECT_NE(std::find(files.begin(), files.end(), "ACC.json"), files.end());
+}
+
+TEST(ScenarioParserValidate, DefaultsAndFlowTransport) {
+  const ScenarioSpec spec =
+      parse_ok("scenario acc\n[workload]\ntype validate\n");
+  EXPECT_EQ(spec.validate.nodes, 8u);
+  EXPECT_EQ(spec.validate.flows, 4u);
+  EXPECT_DOUBLE_EQ(spec.validate.goodput_tolerance, 0.12);
+  EXPECT_DOUBLE_EQ(spec.validate.jain_min, 0.95);
+  EXPECT_EQ(spec.engine.transport, TransportModel::kFlow);
+  EXPECT_TRUE(spec.validate.expect_bandwidth.is_unlimited());
+}
+
+TEST(ScenarioParserValidate, ExpectBandwidthOverrideViaSet) {
+  // The CI control case: a wrong bandwidth expectation injected by --set
+  // must reach the spec so the harness can fail against it.
+  const ScenarioSpec spec =
+      parse_ok("scenario acc\n[workload]\ntype validate\n",
+               {"workload.expect_bandwidth=8M"});
+  EXPECT_FALSE(spec.validate.expect_bandwidth.is_unlimited());
+  EXPECT_EQ(spec.validate.expect_bandwidth.count_bps(),
+            Bandwidth::mbps(8).count_bps());
+}
+
+TEST(ScenarioParserValidate, NodesFloor) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type validate\n"
+                        "nodes 2\n"),
+            "line 4: validate needs nodes >= 3");
+}
+
+TEST(ScenarioParserValidate, FlowsNeedASinkBesidesTheSources) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type validate\n"
+                        "nodes 4\n"
+                        "flows 4\n"),
+            "line 5: validate needs nodes > flows (a fairness sink besides "
+            "the sources)");
+}
+
+TEST(ScenarioParserValidate, UnknownTransport) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type validate\n"
+                        "[engine]\n"
+                        "transport quic\n"),
+            "line 5: unknown transport 'quic' (tcp|flow)");
+}
+
+TEST(ScenarioParserValidate, ValidateKeyInSwarmWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "jain_min 0.9\n"),
+            "line 4: key 'jain_min' is not valid for workload type swarm");
+}
+
 // -- golden errors --------------------------------------------------------
 
 TEST(ScenarioParserErrors, SectionBeforeScenarioHeader) {
@@ -351,6 +452,23 @@ void expect_equivalent(const ScenarioSpec& parsed, const ScenarioSpec& built) {
   EXPECT_EQ(parsed.ping.rules_max, built.ping.rules_max);
   EXPECT_EQ(parsed.ping.rules_step, built.ping.rules_step);
   EXPECT_EQ(parsed.ping.probes, built.ping.probes);
+  EXPECT_EQ(parsed.validate.nodes, built.validate.nodes);
+  EXPECT_EQ(parsed.validate.flows, built.validate.flows);
+  EXPECT_EQ(parsed.validate.transfer.count_bytes(),
+            built.validate.transfer.count_bytes());
+  EXPECT_EQ(parsed.validate.message.count_bytes(),
+            built.validate.message.count_bytes());
+  EXPECT_EQ(parsed.validate.loss_datagrams, built.validate.loss_datagrams);
+  EXPECT_EQ(parsed.validate.ge_p_good_bad, built.validate.ge_p_good_bad);
+  EXPECT_EQ(parsed.validate.ge_p_bad_good, built.validate.ge_p_bad_good);
+  EXPECT_EQ(parsed.validate.ge_loss_bad, built.validate.ge_loss_bad);
+  EXPECT_EQ(parsed.validate.goodput_tolerance,
+            built.validate.goodput_tolerance);
+  EXPECT_EQ(parsed.validate.rtt_tolerance, built.validate.rtt_tolerance);
+  EXPECT_EQ(parsed.validate.loss_tolerance, built.validate.loss_tolerance);
+  EXPECT_EQ(parsed.validate.jain_min, built.validate.jain_min);
+  EXPECT_EQ(parsed.validate.expect_bandwidth, built.validate.expect_bandwidth);
+  EXPECT_EQ(parsed.engine.transport, built.engine.transport);
   EXPECT_EQ(parsed.engine.shards, built.engine.shards);
   EXPECT_EQ(parsed.engine.physical_nodes, built.engine.physical_nodes);
   EXPECT_EQ(parsed.engine.fold, built.engine.fold);
@@ -408,6 +526,40 @@ TEST(ShippedScenarios, ChurnMatchesCatalog) {
 TEST(ShippedScenarios, FlashCrowdParses) {
   const ScenarioSpec spec = parse_shipped("flashcrowd.scn");
   expect_equivalent(spec, catalog::flash_crowd());
+}
+
+TEST(ShippedScenarios, AccuracyMatchesCatalog) {
+  const ScenarioSpec parsed = parse_shipped("accuracy.scn");
+  const ScenarioSpec built = catalog::accuracy();
+  expect_equivalent(parsed, built);
+  // Both carry an inline topology; the accuracy harness derives its
+  // expectations from it, so zone-level drift would silently change what
+  // the invariants assert.
+  ASSERT_EQ(parsed.topology.source, TopologySource::kInline);
+  ASSERT_EQ(built.topology.source, TopologySource::kInline);
+  ASSERT_TRUE(parsed.topology.built.has_value());
+  ASSERT_TRUE(built.topology.built.has_value());
+  const topology::Topology& pt = *parsed.topology.built;
+  const topology::Topology& ct = *built.topology.built;
+  ASSERT_EQ(pt.zones().size(), ct.zones().size());
+  for (std::size_t z = 0; z < pt.zones().size(); ++z) {
+    const topology::Zone& a = pt.zones()[z];
+    const topology::Zone& b = ct.zones()[z];
+    EXPECT_EQ(a.name, b.name) << "zone " << z;
+    EXPECT_EQ(a.subnet.to_string(), b.subnet.to_string()) << "zone " << z;
+    EXPECT_EQ(a.node_count, b.node_count) << "zone " << z;
+    EXPECT_EQ(a.link.down, b.link.down) << "zone " << z;
+    EXPECT_EQ(a.link.up, b.link.up) << "zone " << z;
+    EXPECT_EQ(a.link.latency, b.link.latency) << "zone " << z;
+    EXPECT_EQ(a.link.loss_rate, b.link.loss_rate) << "zone " << z;
+  }
+  ASSERT_EQ(pt.latencies().size(), ct.latencies().size());
+  for (std::size_t i = 0; i < pt.latencies().size(); ++i) {
+    EXPECT_EQ(pt.latencies()[i].a, ct.latencies()[i].a) << "latency " << i;
+    EXPECT_EQ(pt.latencies()[i].b, ct.latencies()[i].b) << "latency " << i;
+    EXPECT_EQ(pt.latencies()[i].latency, ct.latencies()[i].latency)
+        << "latency " << i;
+  }
 }
 
 }  // namespace
