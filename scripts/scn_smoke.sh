@@ -23,6 +23,7 @@ overrides_for() {
   case "$1" in
     fig6) echo "" ;;  # the rule sweep is already CI-sized
     accuracy) echo "" ;;  # validate workload has no clients key; CI-sized as shipped
+    gossip) echo "" ;;  # membership run is already tiny; no clients key either
     fig8) echo "--set workload.clients=16" ;;
     fig10) echo "--set workload.clients=64" ;;
     churn) echo "--set workload.clients=24" ;;

@@ -8,7 +8,7 @@ namespace p2plab::scenario::catalog {
 ScenarioSpec fig6() {
   ScenarioSpec spec;
   spec.name = "fig6";
-  spec.workload = WorkloadType::kPingSweep;
+  spec.workload = "ping_sweep";
   spec.outputs.csv = "fig6_ipfw_rules";
   spec.outputs.csv_note =
       "paper: ~linear, reaching ~5 ms RTT at 50k rules "
@@ -123,10 +123,51 @@ ScenarioSpec flash_crowd() {
   return spec;
 }
 
+ScenarioSpec gossip(std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "gossip";
+  spec.workload = "gossip";
+  spec.gossip.nodes = nodes;
+
+  // A quarter of the members (never the introducer, vnode 0) fails inside
+  // the 30..90 s window; half come back after 20-40 s down.
+  spec.faults.churn.enabled = true;
+  spec.faults.churn.fraction = 0.25;
+  spec.faults.churn.window_start = Duration::sec(30);
+  spec.faults.churn.window_end = Duration::sec(90);
+  spec.faults.churn.rejoin_fraction = 0.5;
+  spec.faults.churn.rejoin_min = Duration::sec(20);
+  spec.faults.churn.rejoin_max = Duration::sec(40);
+
+  // Two bursty-loss windows on never-churned-by-default members: lost
+  // pings must escalate to indirect probes and suspicion, not straight to
+  // a false confirm.
+  spec.faults.plan.burst_loss(2, SimTime::zero() + Duration::sec(40),
+                              Duration::sec(20),
+                              ipfw::GilbertElliott{.p_good_to_bad = 0.05,
+                                                   .p_bad_to_good = 0.3,
+                                                   .loss_bad = 0.8});
+  spec.faults.plan.burst_loss(3, SimTime::zero() + Duration::sec(100),
+                              Duration::sec(20),
+                              ipfw::GilbertElliott{.p_good_to_bad = 0.05,
+                                                   .p_bad_to_good = 0.3,
+                                                   .loss_bad = 0.8});
+  // Keep time order, like the DSL parser does: equivalence is exact.
+  spec.faults.plan.sort();
+
+  spec.engine.stop = StopMode::kTime;
+  spec.engine.run_for = Duration::sec(180);
+  spec.engine.check_invariants = true;
+  spec.outputs.detection_csv = "gossip_detection";
+  spec.outputs.fp_summary = "gossip_fp_summary";
+  spec.outputs.bench_json = "BENCH_gossip";
+  return spec;
+}
+
 ScenarioSpec accuracy() {
   ScenarioSpec spec;
   spec.name = "accuracy";
-  spec.workload = WorkloadType::kValidate;
+  spec.workload = "validate";
   // Built through the same topology-DSL parser the .scn file goes
   // through, so catalog and file cannot diverge on link semantics.
   auto topo = topology::parse_topology(

@@ -38,6 +38,10 @@ ScenarioSpec churn_baseline(std::size_t clients = 160);
 /// swarm through.
 ScenarioSpec flash_crowd();
 
+/// SWIM gossip membership under churn and burst loss: detection latency
+/// per crashed member plus the cluster-wide false-positive rate.
+ScenarioSpec gossip(std::size_t nodes = 48);
+
 /// The emulator-accuracy harness: goodput / RTT additivity / Jain
 /// fairness / Gilbert-Elliott loss, measured against the configured
 /// topology, under the TCP congestion model (DESIGN.md §13).

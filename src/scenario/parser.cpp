@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "scenario/workload.hpp"
 #include "topology/parser.hpp"
 
 namespace p2plab::scenario {
@@ -47,35 +48,6 @@ std::optional<std::vector<std::string>> tokenize(std::string_view line) {
   if (in_quotes) return std::nullopt;
   flush();
   return tokens;
-}
-
-std::optional<std::uint64_t> parse_u64(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  std::uint64_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    return std::nullopt;
-  }
-  return value;
-}
-
-std::optional<double> parse_probability(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  double value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || ptr != text.data() + text.size() || value < 0 ||
-      value > 1) {
-    return std::nullopt;
-  }
-  return value;
-}
-
-std::optional<bool> parse_bool(std::string_view text) {
-  if (text == "on" || text == "true" || text == "1") return true;
-  if (text == "off" || text == "false" || text == "0") return false;
-  return std::nullopt;
 }
 
 /// "key=value" -> value for the expected key.
@@ -125,37 +97,8 @@ std::string padded_text(const std::vector<RawLine>& lines) {
   return text;
 }
 
-struct KvEntry {
-  std::string key;
-  std::string value;
-  std::string source;  // "line 12" or "--set workload.clients=8"
-  bool consumed = false;
-};
-
-struct KvSection {
-  const char* name = "";
-  std::vector<KvEntry> entries;
-
-  KvEntry* find(std::string_view key) {
-    for (KvEntry& entry : entries) {
-      if (entry.key == key) return &entry;
-    }
-    return nullptr;
-  }
-  KvEntry* take(std::string_view key) {
-    KvEntry* entry = find(key);
-    if (entry != nullptr) entry->consumed = true;
-    return entry;
-  }
-  const KvEntry* first_unconsumed() const {
-    for (const KvEntry& entry : entries) {
-      if (!entry.consumed) return &entry;
-    }
-    return nullptr;
-  }
-};
-
-/// Everything collected in the first (lexical) pass.
+/// Everything collected in the first (lexical) pass. KvEntry/KvSection
+/// live in workload.hpp now, shared with the plugins' ParamReaders.
 struct Collected {
   std::string name;
 
@@ -176,30 +119,19 @@ struct Collected {
   KvSection outputs{"outputs", {}};
 };
 
-const char* const kSwarmKeys[] = {"clients",       "seeders",
-                                  "file_size",     "piece_length",
-                                  "start_interval", "content_seed",
-                                  "verify_hashes", "max_duration"};
-const char* const kPingKeys[] = {"nodes", "rules_max", "rules_step",
-                                 "probes"};
-const char* const kValidateKeys[] = {
-    "nodes",          "flows",         "transfer",
-    "message",        "loss_datagrams", "ge_p_good_bad",
-    "ge_p_bad_good",  "ge_loss_bad",   "goodput_tolerance",
-    "rtt_tolerance",  "loss_tolerance", "jain_min",
-    "expect_bandwidth"};
-const char* const kSwarmOutputKeys[] = {
-    "grid",          "progress_envelope", "completions",
-    "completions_note", "sampled_progress",  "sampled_every",
-    "completion_curve", "completion_curve_note", "summary",
-    "metrics",       "trace"};
-const char* const kPingOutputKeys[] = {"csv", "csv_note"};
-const char* const kValidateOutputKeys[] = {"accuracy_json"};
-
-template <std::size_t N>
-bool contains(const char* const (&keys)[N], std::string_view key) {
-  for (const char* candidate : keys) {
-    if (key == candidate) return true;
+/// The cross-type stray-key diagnostic: true when some *other* plugin
+/// claims `key` in the given section, so "key 'X' is not valid for
+/// workload type Y" beats a bare "unknown key". The registry is the
+/// single source of truth for every plugin's key surface.
+bool claimed_by_other_plugin(const WorkloadRegistry& registry,
+                             const WorkloadPlugin* plugin,
+                             std::string_view key, bool outputs) {
+  for (const WorkloadPlugin* other : registry.plugins()) {
+    if (other == plugin) continue;
+    for (const char* candidate :
+         outputs ? other->output_keys() : other->workload_keys()) {
+      if (key == candidate) return true;
+    }
   }
   return false;
 }
@@ -422,237 +354,48 @@ ParseResult parse_scenario(std::string_view text,
   ScenarioSpec spec;
   spec.name = c.name;
 
-  // Typed readers; every error names the source (file line or --set flag).
+  const WorkloadRegistry& registry = WorkloadRegistry::instance();
   std::string error;
-  auto bad = [&](const KvEntry& entry, const std::string& message) {
-    error = entry.source + ": " + message;
-    return false;
-  };
-  auto take_count = [&](KvSection& kv, const char* key, auto&& setter) {
-    if (KvEntry* entry = kv.take(key)) {
-      const auto value = parse_u64(entry->value);
-      if (!value) {
-        return bad(*entry, "bad count '" + entry->value + "' for " +
-                               std::string(key));
-      }
-      setter(*value, *entry);
-    }
-    return true;
-  };
-  auto take_size = [&](KvSection& kv, const char* key, auto&& setter) {
-    if (KvEntry* entry = kv.take(key)) {
-      const auto value = parse_data_size(entry->value);
-      if (!value) {
-        return bad(*entry, "bad size '" + entry->value + "' for " +
-                               std::string(key) + " (use k/M/G suffixes)");
-      }
-      setter(*value);
-    }
-    return true;
-  };
-  auto take_duration = [&](KvSection& kv, const char* key, auto&& setter) {
-    if (KvEntry* entry = kv.take(key)) {
-      const auto value = fault::parse_scenario_duration(entry->value);
-      if (!value) {
-        return bad(*entry, "bad duration '" + entry->value + "' for " +
-                               std::string(key));
-      }
-      setter(*value, *entry);
-    }
-    return true;
-  };
-  auto take_bool = [&](KvSection& kv, const char* key, auto&& setter) {
-    if (KvEntry* entry = kv.take(key)) {
-      const auto value = parse_bool(entry->value);
-      if (!value) {
-        return bad(*entry, "bad value '" + entry->value + "' for " +
-                               std::string(key) + " (expected on|off)");
-      }
-      setter(*value);
-    }
-    return true;
-  };
-  auto take_string = [&](KvSection& kv, const char* key, std::string* out) {
-    if (KvEntry* entry = kv.take(key)) *out = entry->value;
-    return true;
-  };
-
-  // [workload]
-  if (KvEntry* entry = c.workload.take("type")) {
-    if (entry->value == "swarm") {
-      spec.workload = WorkloadType::kSwarm;
-    } else if (entry->value == "ping_sweep") {
-      spec.workload = WorkloadType::kPingSweep;
-    } else if (entry->value == "validate") {
-      spec.workload = WorkloadType::kValidate;
-    } else {
-      return fail(entry->source,
-                  "unknown workload type '" + entry->value + "'");
-    }
-  }
-  const bool is_swarm = spec.workload == WorkloadType::kSwarm;
-  const bool is_ping = spec.workload == WorkloadType::kPingSweep;
-  bool ok = true;
-  auto take_probability = [&](KvSection& kv, const char* key, double* out) {
-    if (KvEntry* entry = kv.take(key)) {
-      const auto value = parse_probability(entry->value);
-      if (!value) {
-        return bad(*entry, "bad value '" + entry->value + "' for " +
-                               std::string(key) + " (expected 0..1)");
-      }
-      *out = *value;
-    }
-    return true;
-  };
-  if (is_swarm) {
-    ok = ok && take_count(c.workload, "clients", [&](std::uint64_t v,
-                                                     const KvEntry&) {
-      spec.swarm.clients = static_cast<std::size_t>(v);
-    });
-    ok = ok && take_count(c.workload, "seeders", [&](std::uint64_t v,
-                                                     const KvEntry&) {
-      spec.swarm.seeders = static_cast<std::size_t>(v);
-    });
-    ok = ok && take_size(c.workload, "file_size",
-                         [&](DataSize v) { spec.swarm.file_size = v; });
-    ok = ok && take_size(c.workload, "piece_length",
-                         [&](DataSize v) { spec.swarm.piece_length = v; });
-    ok = ok && take_duration(c.workload, "start_interval",
-                             [&](Duration v, const KvEntry&) {
-                               spec.swarm.start_interval = v;
-                             });
-    ok = ok && take_count(c.workload, "content_seed",
-                          [&](std::uint64_t v, const KvEntry&) {
-                            spec.swarm.content_seed = v;
-                          });
-    ok = ok && take_bool(c.workload, "verify_hashes",
-                         [&](bool v) { spec.swarm.verify_hashes = v; });
-    ok = ok && take_duration(c.workload, "max_duration",
-                             [&](Duration v, const KvEntry&) {
-                               spec.swarm.max_duration = v;
-                             });
-  } else if (is_ping) {
-    bool nodes_ok = true;
-    const KvEntry* nodes_entry = nullptr;
-    ok = ok && take_count(c.workload, "nodes",
-                          [&](std::uint64_t v, const KvEntry& entry) {
-                            spec.ping.nodes = static_cast<std::size_t>(v);
-                            nodes_entry = &entry;
-                            nodes_ok = v >= 2;
-                          });
-    if (ok && !nodes_ok) {
-      return fail(nodes_entry->source, "ping_sweep needs nodes >= 2");
-    }
-    ok = ok && take_count(c.workload, "rules_max",
-                          [&](std::uint64_t v, const KvEntry&) {
-                            spec.ping.rules_max =
-                                static_cast<std::uint32_t>(v);
-                          });
-    const KvEntry* step_entry = nullptr;
-    ok = ok && take_count(c.workload, "rules_step",
-                          [&](std::uint64_t v, const KvEntry& entry) {
-                            spec.ping.rules_step =
-                                static_cast<std::uint32_t>(v);
-                            step_entry = &entry;
-                          });
-    if (ok && step_entry != nullptr && spec.ping.rules_step == 0) {
-      return fail(step_entry->source, "rules_step must be positive");
-    }
-    ok = ok && take_count(c.workload, "probes",
-                          [&](std::uint64_t v, const KvEntry&) {
-                            spec.ping.probes = static_cast<std::size_t>(v);
-                          });
-  } else {
-    // validate (the accuracy harness)
-    bool nodes_ok = true;
-    const KvEntry* nodes_entry = nullptr;
-    ok = ok && take_count(c.workload, "nodes",
-                          [&](std::uint64_t v, const KvEntry& entry) {
-                            spec.validate.nodes = static_cast<std::size_t>(v);
-                            nodes_entry = &entry;
-                            nodes_ok = v >= 3;
-                          });
-    if (ok && !nodes_ok) {
-      return fail(nodes_entry->source, "validate needs nodes >= 3");
-    }
-    bool flows_ok = true;
-    const KvEntry* flows_entry = nullptr;
-    ok = ok && take_count(c.workload, "flows",
-                          [&](std::uint64_t v, const KvEntry& entry) {
-                            spec.validate.flows = static_cast<std::size_t>(v);
-                            flows_entry = &entry;
-                            flows_ok = v >= 1;
-                          });
-    if (ok && !flows_ok) {
-      return fail(flows_entry->source, "validate needs flows >= 1");
-    }
-    ok = ok && take_size(c.workload, "transfer",
-                         [&](DataSize v) { spec.validate.transfer = v; });
-    ok = ok && take_size(c.workload, "message",
-                         [&](DataSize v) { spec.validate.message = v; });
-    ok = ok && take_count(c.workload, "loss_datagrams",
-                          [&](std::uint64_t v, const KvEntry&) {
-                            spec.validate.loss_datagrams =
-                                static_cast<std::size_t>(v);
-                          });
-    ok = ok && take_probability(c.workload, "ge_p_good_bad",
-                                &spec.validate.ge_p_good_bad);
-    ok = ok && take_probability(c.workload, "ge_p_bad_good",
-                                &spec.validate.ge_p_bad_good);
-    ok = ok && take_probability(c.workload, "ge_loss_bad",
-                                &spec.validate.ge_loss_bad);
-    ok = ok && take_probability(c.workload, "goodput_tolerance",
-                                &spec.validate.goodput_tolerance);
-    ok = ok && take_probability(c.workload, "rtt_tolerance",
-                                &spec.validate.rtt_tolerance);
-    ok = ok && take_probability(c.workload, "loss_tolerance",
-                                &spec.validate.loss_tolerance);
-    ok = ok && take_probability(c.workload, "jain_min",
-                                &spec.validate.jain_min);
-    if (ok) {
-      if (KvEntry* entry = c.workload.take("expect_bandwidth")) {
-        const auto bw = topology::parse_bandwidth(entry->value);
-        if (!bw) {
-          return fail(entry->source, "bad bandwidth '" + entry->value +
-                                         "' for expect_bandwidth");
-        }
-        spec.validate.expect_bandwidth = *bw;
-      }
-      if (spec.validate.flows + 1 > spec.validate.nodes) {
-        const KvEntry* blame =
-            flows_entry != nullptr ? flows_entry : nodes_entry;
-        return fail(blame != nullptr ? blame->source : "[workload]",
-                    "validate needs nodes > flows (a fairness sink besides "
-                    "the sources)");
-      }
-    }
-  }
-  if (!ok) {
+  auto fail_with_error = [&] {
     result.spec.reset();
     result.error = error;
     return result;
+  };
+
+  // [workload] — the type name picks the plugin; the plugin consumes its
+  // own keys through the shared typed readers (workload.hpp), so every
+  // workload gets identical error shapes and --set override behavior.
+  const WorkloadPlugin* plugin = registry.find("swarm");
+  if (KvEntry* entry = c.workload.take("type")) {
+    plugin = registry.find(entry->value);
+    if (plugin == nullptr) {
+      return fail(entry->source, "unknown workload type '" + entry->value +
+                                     "' (expected " +
+                                     registry.joined_names("|") + ")");
+    }
+  }
+  spec.workload = plugin->name();
+  ParamReader workload_params(c.workload, error);
+  if (!plugin->parse_workload(workload_params, spec)) {
+    return fail_with_error();
   }
   if (const KvEntry* stray = c.workload.first_unconsumed()) {
-    const bool other_type =
-        is_swarm ? (contains(kPingKeys, stray->key) ||
-                    contains(kValidateKeys, stray->key))
-        : is_ping ? (contains(kSwarmKeys, stray->key) ||
-                     contains(kValidateKeys, stray->key))
-                  : (contains(kSwarmKeys, stray->key) ||
-                     contains(kPingKeys, stray->key));
-    if (other_type) {
+    if (claimed_by_other_plugin(registry, plugin, stray->key,
+                                /*outputs=*/false)) {
       return fail(stray->source,
                   "key '" + stray->key + "' is not valid for workload type " +
-                      workload_type_name(spec.workload));
+                      std::string(plugin->name()));
     }
     return fail(stray->source,
                 "unknown key '" + stray->key + "' in [workload]");
   }
 
   // [engine]
-  ok = take_count(c.engine, "shards", [&](std::uint64_t v, const KvEntry&) {
-    spec.engine.shards = static_cast<std::size_t>(v);
-  });
+  ParamReader engine_params(c.engine, error);
+  bool ok = engine_params.take_count(
+      "shards", [&](std::uint64_t v, const KvEntry&) {
+        spec.engine.shards = static_cast<std::size_t>(v);
+      });
   const KvEntry* transport_entry = c.engine.take("transport");
   if (ok && transport_entry != nullptr) {
     if (transport_entry->value == "flow") {
@@ -676,11 +419,11 @@ ParseResult parse_scenario(std::string_view text,
     spec.engine.physical_nodes = static_cast<std::size_t>(*value);
   }
   const KvEntry* fold_entry = nullptr;
-  ok = ok && take_count(c.engine, "fold",
-                        [&](std::uint64_t v, const KvEntry& entry) {
-                          spec.engine.fold = static_cast<std::size_t>(v);
-                          fold_entry = &entry;
-                        });
+  ok = ok && engine_params.take_count(
+                 "fold", [&](std::uint64_t v, const KvEntry& entry) {
+                   spec.engine.fold = static_cast<std::size_t>(v);
+                   fold_entry = &entry;
+                 });
   if (ok && fold_entry != nullptr) {
     if (*spec.engine.fold == 0) {
       return fail(fold_entry->source, "fold must be positive");
@@ -690,10 +433,9 @@ ParseResult parse_scenario(std::string_view text,
                   "fold and physical_nodes are mutually exclusive");
     }
   }
-  ok = ok && take_count(c.engine, "seed",
-                        [&](std::uint64_t v, const KvEntry&) {
-                          spec.engine.seed = v;
-                        });
+  ok = ok && engine_params.take_count(
+                 "seed",
+                 [&](std::uint64_t v, const KvEntry&) { spec.engine.seed = v; });
   const KvEntry* stop_entry = c.engine.take("stop");
   if (ok && stop_entry != nullptr) {
     if (stop_entry->value == "all_complete") {
@@ -709,24 +451,21 @@ ParseResult parse_scenario(std::string_view text,
     }
   }
   const KvEntry* run_for_entry = nullptr;
-  ok = ok && take_duration(c.engine, "run_for",
-                           [&](Duration v, const KvEntry& entry) {
-                             spec.engine.run_for = v;
-                             run_for_entry = &entry;
-                           });
-  ok = ok && take_bool(c.engine, "check_invariants",
-                       [&](bool v) { spec.engine.check_invariants = v; });
-  ok = ok && take_bool(c.engine, "trace",
-                       [&](bool v) { spec.engine.trace = v; });
-  ok = ok && take_bool(c.engine, "profile",
-                       [&](bool v) { spec.engine.profile = v; });
-  ok = ok && take_bool(c.engine, "pin",
-                       [&](bool v) { spec.engine.pin_workers = v; });
-  if (!ok) {
-    result.spec.reset();
-    result.error = error;
-    return result;
-  }
+  ok = ok && engine_params.take_duration(
+                 "run_for", [&](Duration v, const KvEntry& entry) {
+                   spec.engine.run_for = v;
+                   run_for_entry = &entry;
+                 });
+  ok = ok && engine_params.take_bool("check_invariants", [&](bool v) {
+    spec.engine.check_invariants = v;
+  });
+  ok = ok && engine_params.take_bool(
+                 "trace", [&](bool v) { spec.engine.trace = v; });
+  ok = ok && engine_params.take_bool(
+                 "profile", [&](bool v) { spec.engine.profile = v; });
+  ok = ok && engine_params.take_bool(
+                 "pin", [&](bool v) { spec.engine.pin_workers = v; });
+  if (!ok) return fail_with_error();
   if (spec.engine.stop == StopMode::kTime &&
       spec.engine.run_for <= Duration::zero()) {
     return fail(stop_entry != nullptr ? stop_entry->source : "[engine]",
@@ -740,74 +479,22 @@ ParseResult parse_scenario(std::string_view text,
                 "unknown key '" + stray->key + "' in [engine]");
   }
 
-  // [outputs] — the workload decides which keys make sense; the others
-  // fall through to the "not valid for workload type" error below.
-  ok = true;
-  if (is_swarm) {
-    const KvEntry* grid_entry = nullptr;
-    ok = take_duration(c.outputs, "grid",
-                       [&](Duration v, const KvEntry& entry) {
-                         spec.outputs.grid = v;
-                         grid_entry = &entry;
-                       });
-    if (ok && grid_entry != nullptr &&
-        spec.outputs.grid <= Duration::zero()) {
-      return fail(grid_entry->source, "grid must be positive");
-    }
-    ok = ok && take_string(c.outputs, "progress_envelope",
-                           &spec.outputs.progress_envelope);
-    ok = ok &&
-         take_string(c.outputs, "completions", &spec.outputs.completions);
-    ok = ok && take_string(c.outputs, "completions_note",
-                           &spec.outputs.completions_note);
-    ok = ok && take_string(c.outputs, "sampled_progress",
-                           &spec.outputs.sampled_progress);
-    const KvEntry* every_entry = nullptr;
-    ok = ok && take_count(c.outputs, "sampled_every",
-                          [&](std::uint64_t v, const KvEntry& entry) {
-                            spec.outputs.sampled_every =
-                                static_cast<std::size_t>(v);
-                            every_entry = &entry;
-                          });
-    if (ok && every_entry != nullptr && spec.outputs.sampled_every == 0) {
-      return fail(every_entry->source, "sampled_every must be positive");
-    }
-    ok = ok && take_string(c.outputs, "completion_curve",
-                           &spec.outputs.completion_curve);
-    ok = ok && take_string(c.outputs, "completion_curve_note",
-                           &spec.outputs.completion_curve_note);
-    ok = ok && take_string(c.outputs, "summary", &spec.outputs.summary);
-    ok = ok && take_string(c.outputs, "metrics", &spec.outputs.metrics);
-    ok = ok && take_string(c.outputs, "trace", &spec.outputs.trace_file);
-  } else if (is_ping) {
-    ok = take_string(c.outputs, "csv", &spec.outputs.csv);
-    ok = ok && take_string(c.outputs, "csv_note", &spec.outputs.csv_note);
-  } else {
-    ok = take_string(c.outputs, "accuracy_json",
-                     &spec.outputs.accuracy_json);
-  }
-  ok = ok && take_string(c.outputs, "bench_json", &spec.outputs.bench_json);
-  ok = ok && take_string(c.outputs, "profile_trace",
-                         &spec.outputs.profile_trace);
-  ok = ok && take_bool(c.outputs, "report",
-                       [&](bool v) { spec.outputs.report = v; });
-  if (!ok) {
-    result.spec.reset();
-    result.error = error;
-    return result;
-  }
+  // [outputs] — the plugin consumes its own keys; strays from another
+  // workload's surface get the "not valid for workload type" error below.
+  ParamReader output_params(c.outputs, error);
+  if (!plugin->parse_outputs(output_params, spec)) return fail_with_error();
+  ok = output_params.take_string("bench_json", &spec.outputs.bench_json);
+  ok = ok && output_params.take_string("profile_trace",
+                                       &spec.outputs.profile_trace);
+  ok = ok && output_params.take_bool(
+                 "report", [&](bool v) { spec.outputs.report = v; });
+  if (!ok) return fail_with_error();
   if (const KvEntry* stray = c.outputs.first_unconsumed()) {
-    const bool other_type =
-        is_swarm ? (contains(kPingOutputKeys, stray->key) ||
-                    contains(kValidateOutputKeys, stray->key))
-        : is_ping ? (contains(kSwarmOutputKeys, stray->key) ||
-                     contains(kValidateOutputKeys, stray->key))
-                  : (contains(kSwarmOutputKeys, stray->key) ||
-                     contains(kPingOutputKeys, stray->key));
-    if (other_type) {
+    if (claimed_by_other_plugin(registry, plugin, stray->key,
+                                /*outputs=*/true)) {
       return fail(stray->source,
                   "key '" + stray->key + "' is not valid for workload type " +
-                      workload_type_name(spec.workload));
+                      std::string(plugin->name()));
     }
     return fail(stray->source,
                 "unknown key '" + stray->key + "' in [outputs]");
@@ -985,16 +672,25 @@ ParseResult parse_scenario(std::string_view text,
                        "churn needs window=START..END");
     }
   }
-  if (!spec.faults.empty() && !is_swarm) {
+  if (!spec.faults.empty() && !plugin->supports_faults()) {
     const int at = c.faults_include ? c.faults_include->line
                    : c.churn_directive ? c.churn_directive->line
                    : !c.faults_inline.empty() ? c.faults_inline.front().line
                                               : 0;
-    return fail_line(at, "[faults] requires workload type swarm");
+    return fail_line(at, "[faults] requires workload type " +
+                             registry.fault_capable_names());
   }
-  if (spec.engine.stop == StopMode::kSurvivorsComplete && !is_swarm) {
+  if (spec.engine.stop == StopMode::kSurvivorsComplete &&
+      !plugin->supports_survivors_stop()) {
     return fail(stop_entry != nullptr ? stop_entry->source : "[engine]",
-                "stop=survivors_complete requires workload type swarm");
+                "stop=survivors_complete requires workload type " +
+                    registry.survivors_stop_names());
+  }
+  // Whole-spec validation owned by the plugin (e.g. gossip requires
+  // stop=time), blamed on the [engine] stop source like the stop checks.
+  if (std::string message = plugin->validate_spec(spec); !message.empty()) {
+    return fail(stop_entry != nullptr ? stop_entry->source : "[engine]",
+                message);
   }
 
   result.spec = std::move(spec);

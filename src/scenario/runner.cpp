@@ -1,29 +1,12 @@
 #include "scenario/runner.hpp"
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <string>
-#include <thread>
 #include <utility>
-#include <vector>
 
 #include "common/assert.hpp"
 #include "core/bench_report.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/trace.hpp"
 
 namespace p2plab::scenario {
-
-namespace {
-
-double wall_seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 ExperimentRunner::ExperimentRunner(ScenarioSpec spec)
     : spec_(std::move(spec)) {}
@@ -34,10 +17,11 @@ void ExperimentRunner::setup() {
   P2PLAB_ASSERT(!set_up_);
   set_up_ = true;
 
+  plugin_ = &WorkloadRegistry::instance().require(spec_.workload);
   const std::size_t shards = spec_.effective_shards();
-  if (spec_.workload == WorkloadType::kPingSweep && spec_.engine.shards > 0) {
-    std::printf("# ping workload drives the classic engine; ignoring "
-                "shards=%zu\n", spec_.engine.shards);
+  if (plugin_->classic_only() && spec_.engine.shards > 0) {
+    std::printf("# %s workload drives the classic engine; ignoring "
+                "shards=%zu\n", plugin_->name(), spec_.engine.shards);
   }
   const topology::Topology topo =
       spec_.topology.built
@@ -59,301 +43,18 @@ void ExperimentRunner::setup() {
     platform_->profiler().set_crash_filename(spec_.resolved_profile_trace());
   }
 
-  if (spec_.workload == WorkloadType::kSwarm) {
-    setup_swarm();
-  } else {
-    platform_->bind_metrics(registry_);
-  }
-}
-
-void ExperimentRunner::setup_swarm() {
-  swarm_ = std::make_unique<bt::Swarm>(*platform_, spec_.swarm);
-  swarm_->bind_metrics(registry_);
-  first_client_vnode_ = 1 + spec_.swarm.seeders;
-  setup_faults();
-  // The health monitor samples from inside one simulation: classic-only.
-  // Started last, matching the figure harnesses' event order.
-  if (!spec_.outputs.metrics.empty() && !platform_->engine_mode()) {
-    monitor_ = std::make_unique<metrics::HealthMonitor>(
-        metrics::HealthMonitor::Options{.csv_name = spec_.outputs.metrics});
-    monitor_->start(platform_->sim(), registry_);
-  }
-}
-
-void ExperimentRunner::setup_faults() {
-  faulted_.assign(spec_.swarm.clients, false);
-  rejoins_.assign(spec_.swarm.clients, false);
-  if (spec_.faults.empty()) return;
-
-  // Churn schedules expand first (forked off the platform RNG at exactly
-  // this point of construction — the pre-refactor churn bench's order), and
-  // the explicit plan appends behind them; the stable time sort then
-  // reproduces the bench's spec order exactly.
-  fault::FaultPlan plan;
-  if (spec_.faults.churn.enabled) {
-    const ChurnDirective& d = spec_.faults.churn;
-    Rng churn_rng = platform_->rng().fork(d.rng_stream);
-    fault::ChurnConfig churn;
-    churn.first_node = d.first_node.value_or(first_client_vnode_);
-    churn.last_node = d.last_node.value_or(first_client_vnode_ +
-                                           spec_.swarm.clients - 1);
-    churn.fraction = d.fraction;
-    churn.window_start = SimTime::zero() + d.window_start;
-    churn.window_end = SimTime::zero() + d.window_end;
-    churn.rejoin_fraction = d.rejoin_fraction;
-    churn.rejoin_min = d.rejoin_min;
-    churn.rejoin_max = d.rejoin_max;
-    churn.leave_fraction = d.leave_fraction;
-    plan = fault::FaultPlan::churn(churn, churn_rng);
-  }
-  plan.append(spec_.faults.plan);
-  plan.sort();
-
-  // Which clients fail, and which of those come back.
-  for (const fault::FaultSpec& fault_spec : plan.specs()) {
-    if (fault_spec.kind != fault::FaultKind::kCrash &&
-        fault_spec.kind != fault::FaultKind::kLeave) {
-      continue;
-    }
-    ++node_failures_;
-    if (fault_spec.node < first_client_vnode_ ||
-        fault_spec.node >= first_client_vnode_ + spec_.swarm.clients) {
-      continue;  // seeder/tracker fault: no survivor accounting
-    }
-    faulted_[fault_spec.node - first_client_vnode_] = true;
-    rejoins_[fault_spec.node - first_client_vnode_] = fault_spec.rejoin;
-  }
-  std::printf("# plan: %zu faults, %zu node failures (%zu clients)\n",
-              plan.size(), node_failures_, spec_.swarm.clients);
-
-  injector_ = std::make_unique<fault::FaultInjector>(*platform_,
-                                                     std::move(plan));
-  injector_->bind_metrics(registry_);
-  // vnode layout contract: 0 = tracker, 1..seeders = seeders, rest clients.
-  auto process_of = [this](std::size_t v) -> bt::Client* {
-    if (v >= first_client_vnode_) {
-      return &swarm_->client(v - first_client_vnode_);
-    }
-    if (v >= 1) return &swarm_->seeder(v - 1);
-    return nullptr;  // tracker: infrastructure-only, use tracker_outage
-  };
-  injector_->set_node_hooks(fault::NodeHooks{
-      .on_crash = [process_of](std::size_t v) {
-        if (bt::Client* c = process_of(v)) c->crash();
-      },
-      .on_leave = [process_of](std::size_t v) {
-        if (bt::Client* c = process_of(v)) c->stop();
-      },
-      .on_rejoin = [process_of](std::size_t v) {
-        if (bt::Client* c = process_of(v)) c->start();
-      }});
-  injector_->set_service_hooks(fault::ServiceHooks{
-      .on_tracker_outage = [this] { swarm_->tracker().set_online(false); },
-      .on_tracker_restore = [this] { swarm_->tracker().set_online(true); }});
-  injector_->arm();
+  workload_ = plugin_->create(spec_);
+  workload_->setup(*this);
 }
 
 int ExperimentRunner::execute() {
   P2PLAB_ASSERT(set_up_);
-  switch (spec_.workload) {
-    case WorkloadType::kSwarm: return execute_swarm();
-    case WorkloadType::kPingSweep: return execute_ping();
-    case WorkloadType::kValidate: return execute_validate();
-  }
-  return 1;
+  return workload_->execute(*this);
 }
 
 int ExperimentRunner::run() {
   setup();
   return execute();
-}
-
-double ExperimentRunner::median_completion_sec() const {
-  metrics::Distribution d;
-  for (const double t : swarm_->completion_times_sec()) d.add(t);
-  return d.count() > 0 ? d.median() : -1.0;
-}
-
-int ExperimentRunner::execute_swarm() {
-  const auto wall_start = std::chrono::steady_clock::now();
-  auto count_survivors = [this] {
-    std::size_t done = 0;
-    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
-      done += (!faulted_[c] || rejoins_[c]) &&
-              swarm_->client(c).has_completed();
-    }
-    return done;
-  };
-  std::size_t expected_survivors = 0;
-  for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
-    expected_survivors += !faulted_[c] || rejoins_[c];
-  }
-
-  switch (spec_.engine.stop) {
-    case StopMode::kAllComplete:
-      swarm_->run();
-      break;
-    case StopMode::kSurvivorsComplete:
-      platform_->run(SimTime::zero() + spec_.swarm.max_duration,
-                     [&] { return count_survivors() == expected_survivors; },
-                     Duration::sec(5));
-      break;
-    case StopMode::kTime:
-      platform_->run(SimTime::zero() + spec_.engine.run_for);
-      break;
-  }
-  const double wall_seconds = wall_seconds_since(wall_start);
-  end_of_run_ = platform_->now();
-  if (monitor_) {
-    monitor_->stop();
-    monitor_->print_report();
-  }
-  std::printf("# %zu/%zu clients complete at t=%.0f s; %llu events; "
-              "%zu pnodes x %zu vnodes\n",
-              swarm_->completed_count(), swarm_->client_count(),
-              end_of_run_.to_seconds(),
-              static_cast<unsigned long long>(
-                  platform_->dispatched_events()),
-              platform_->physical_node_count(), platform_->folding_ratio());
-
-  int failures = 0;
-  if (spec_.engine.check_invariants) {
-    auto check = [&](bool ok, const char* what) {
-      std::printf("# check %-46s %s\n", what, ok ? "ok" : "FAIL");
-      if (!ok) ++failures;
-    };
-    if (spec_.engine.stop == StopMode::kSurvivorsComplete) {
-      const std::size_t survivors = count_survivors();
-      check(survivors == expected_survivors,
-            "churn: every surviving leecher completes");
-      std::printf("# survivors complete: %zu/%zu (of %zu clients)\n",
-                  survivors, expected_survivors, spec_.swarm.clients);
-    } else {
-      check(swarm_->all_complete(), "all clients complete");
-    }
-    if (injector_) {
-      check(injector_->stats().unrecovered() == 0,
-            "every injected fault recovered");
-      std::printf("# faults: injected=%llu recovered=%llu\n",
-                  static_cast<unsigned long long>(
-                      injector_->stats().injected),
-                  static_cast<unsigned long long>(
-                      injector_->stats().recovered));
-    }
-    // Nothing wedged: stop the world and the event queue must drain — any
-    // surviving retransmit timer or periodic task would keep it non-empty.
-    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
-      swarm_->client(c).stop();
-    }
-    for (std::size_t s = 0; s < spec_.swarm.seeders; ++s) {
-      swarm_->seeder(s).stop();
-    }
-    swarm_->tracker().set_online(false);
-    check(platform_->run(platform_->now() + Duration::sec(700)) ==
-              core::Platform::RunResult::kDrained,
-          "event queue drains after stop (no wedged timers)");
-  }
-
-  write_swarm_outputs(wall_seconds);
-  return failures == 0 ? 0 : 1;
-}
-
-void ExperimentRunner::write_swarm_outputs(double wall_seconds) {
-  const OutputsSection& out = spec_.outputs;
-  if (!out.bench_json.empty()) {
-    write_bench_json(wall_seconds,
-                     static_cast<double>(spec_.swarm.clients));
-  }
-  // Time-series outputs sample on the grid up to one step past the stop
-  // condition (not past the invariant drain).
-  const Duration grid = out.grid;
-  const SimTime grid_end = end_of_run_ + grid;
-
-  if (!out.progress_envelope.empty()) {
-    metrics::CsvWriter envelope(
-        out.progress_envelope,
-        {"time_s", "pct_min", "pct_p25", "pct_median", "pct_p75", "pct_max",
-         "clients_complete"});
-    envelope.comment("seed=" + std::to_string(spec_.swarm.content_seed));
-    for (SimTime t = SimTime::zero(); t <= grid_end; t += grid) {
-      metrics::Distribution pct;
-      std::size_t complete = 0;
-      for (std::size_t i = 0; i < swarm_->client_count(); ++i) {
-        pct.add(swarm_->client(i).progress().value_at(t));
-        complete += swarm_->client(i).has_completed() &&
-                    swarm_->client(i).completion_time() <= t;
-      }
-      envelope.row({t.to_seconds(), pct.min(), pct.quantile(0.25),
-                    pct.median(), pct.quantile(0.75), pct.max(),
-                    static_cast<double>(complete)});
-    }
-  }
-
-  if (!out.completions.empty()) {
-    metrics::CsvWriter completions(out.completions,
-                                   {"client", "start_s", "completion_s"});
-    for (std::size_t i = 0; i < swarm_->client_count(); ++i) {
-      completions.row(
-          {static_cast<double>(i),
-           static_cast<double>(i) * spec_.swarm.start_interval.to_seconds(),
-           swarm_->client(i).has_completed()
-               ? swarm_->client(i).completion_time().to_seconds()
-               : -1.0});
-    }
-    if (!out.completions_note.empty()) {
-      completions.comment(out.completions_note);
-    }
-  }
-
-  if (!out.sampled_progress.empty()) {
-    metrics::CsvWriter sampled(out.sampled_progress,
-                               {"client", "time_s", "pct_done"});
-    sampled.comment("seed=" + std::to_string(spec_.swarm.content_seed));
-    const std::size_t every = out.sampled_every;
-    for (std::size_t c = every; c <= swarm_->client_count(); c += every) {
-      const auto& series = swarm_->client(c - 1).progress();
-      for (SimTime t = SimTime::zero(); t <= grid_end; t += grid) {
-        sampled.row({static_cast<double>(c), t.to_seconds(),
-                     series.value_at(t)});
-      }
-    }
-  }
-
-  if (!out.completion_curve.empty()) {
-    metrics::CsvWriter curve_csv(out.completion_curve,
-                                 {"time_s", "clients_complete"});
-    const auto curve = swarm_->completion_curve();
-    for (const auto& [t, count] : curve.points()) {
-      curve_csv.row({t.to_seconds(), count});
-    }
-    if (!out.completion_curve_note.empty()) {
-      curve_csv.comment(out.completion_curve_note);
-    }
-  }
-
-  if (!out.summary.empty()) {
-    metrics::CsvWriter summary(out.summary,
-                               {"median_completion_s", "baseline_median_s",
-                                "failed_nodes", "rejoined_nodes",
-                                "faults_injected", "faults_recovered"});
-    std::size_t rejoined = 0;
-    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
-      rejoined += rejoins_[c];
-    }
-    summary.row({median_completion_sec(), baseline_median_,
-                 static_cast<double>(node_failures_),
-                 static_cast<double>(rejoined),
-                 static_cast<double>(injector_ ? injector_->stats().injected
-                                               : 0),
-                 static_cast<double>(injector_ ? injector_->stats().recovered
-                                               : 0)});
-  }
-
-  if (!out.trace_file.empty()) {
-    platform_->flush_trace_to_results(out.trace_file.c_str());
-  }
-  write_profile_outputs();
-  if (out.report) metrics::print_registry_report(registry_);
 }
 
 void ExperimentRunner::write_profile_outputs() {
@@ -365,64 +66,15 @@ void ExperimentRunner::write_profile_outputs() {
       spec_.resolved_profile_trace().c_str());
 }
 
-int ExperimentRunner::execute_ping() {
-  const auto wall_start = std::chrono::steady_clock::now();
-  const OutputsSection& out = spec_.outputs;
-  std::unique_ptr<metrics::CsvWriter> csv;
-  if (!out.csv.empty()) {
-    csv = std::make_unique<metrics::CsvWriter>(
-        out.csv, std::vector<std::string>{"rules", "rtt_avg_ms",
-                                          "rtt_min_ms", "rtt_max_ms"});
-    csv->comment("seed=" + std::to_string(spec_.engine.seed));
-  }
-
-  const Ipv4Addr a = platform_->network().host(0).admin_ip();
-  const Ipv4Addr b = platform_->network().host(1).admin_ip();
-  std::uint32_t installed = 0;
-  std::uint32_t next_rule_number = 1000;
-  for (std::uint32_t rules = 0; rules <= spec_.ping.rules_max;
-       rules += spec_.ping.rules_step) {
-    if (rules > installed) {
-      platform_->network().host(0).firewall().add_filler_rules(
-          next_rule_number, rules - installed);
-      next_rule_number += rules - installed;
-      installed = rules;
-    }
-    metrics::Summary rtt;
-    for (std::size_t probe = 0; probe < spec_.ping.probes; ++probe) {
-      platform_->ping(a, b, [&](Duration d) { rtt.add(d.to_millis()); });
-      platform_->sim().run();
-    }
-    if (csv) {
-      csv->row({std::to_string(rules), std::to_string(rtt.mean()),
-                std::to_string(rtt.min()), std::to_string(rtt.max())});
-    }
-  }
-  if (csv && !out.csv_note.empty()) csv->comment(out.csv_note);
-  end_of_run_ = platform_->now();
-  if (!out.bench_json.empty()) {
-    write_bench_json(wall_seconds_since(wall_start),
-                     static_cast<double>(spec_.ping.rules_max));
-  }
-  write_profile_outputs();
-  if (out.report) metrics::print_registry_report(registry_);
-  return 0;
-}
-
-// The standardized BENCH_*.json run summary (core/bench_report.hpp): one
-// flat JSON object with the scenario name, the workload's scale field
-// (clients / rules_max / flows) and the run economics.
-void ExperimentRunner::write_bench_json(double wall_seconds,
-                                        double scale_field) {
-  const char* scale_key =
-      spec_.workload == WorkloadType::kSwarm
-          ? "clients"
-          : spec_.workload == WorkloadType::kPingSweep ? "rules_max"
-                                                       : "flows";
-  core::write_bench_json(
-      spec_.name, spec_.outputs.bench_json,
-      core::bench_fields(*platform_, scale_key, scale_field,
-                         spec_.engine.seed, wall_seconds));
+void ExperimentRunner::write_bench_json(
+    double wall_seconds, const char* scale_key, double scale_value,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  if (spec_.outputs.bench_json.empty()) return;
+  std::vector<std::pair<std::string, double>> fields =
+      core::bench_fields(*platform_, scale_key, scale_value,
+                         spec_.engine.seed, wall_seconds);
+  fields.insert(fields.end(), extra.begin(), extra.end());
+  core::write_bench_json(spec_.name, spec_.outputs.bench_json, fields);
 }
 
 }  // namespace p2plab::scenario

@@ -1,11 +1,13 @@
 // The experiment runner: one ScenarioSpec in, one finished experiment out.
 //
-// ExperimentRunner owns everything a run needs — registry, platform, swarm
-// (or the ping sweep), fault injector, health monitor — wired in the exact
-// order the figure harnesses established (registry before platform so
-// teardown still counts; churn RNG forked after the swarm exists; the
-// monitor started last), so a spec-driven run is bit-identical to the
-// hand-written bench it replaced.
+// ExperimentRunner owns only the workload-agnostic stack — metrics
+// registry, topology, platform, tracing/profiling — and delegates
+// everything workload-specific to the plugin the spec's `[workload] type`
+// resolves to (workload.hpp). setup() builds the platform and asks the
+// plugin's Workload to build itself on it; execute() hands control to the
+// workload, which drives the run to its stop condition and writes its
+// outputs. The runner contains zero workload-specific branches: adding a
+// protocol never touches this file.
 //
 // Lifecycle: setup() builds the stack, execute() drives the run and writes
 // every declared output, run() does both and returns the process exit code
@@ -16,18 +18,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bittorrent/swarm.hpp"
 #include "core/platform.hpp"
-#include "fault/injector.hpp"
-#include "metrics/health.hpp"
 #include "metrics/registry.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/workload.hpp"
 
 namespace p2plab::scenario {
-
-struct InvariantResult;  // validate.hpp
 
 class ExperimentRunner {
  public:
@@ -49,45 +50,47 @@ class ExperimentRunner {
   const ScenarioSpec& spec() const { return spec_; }
   /// Valid after setup().
   core::Platform& platform() { return *platform_; }
-  /// Valid after setup(), swarm workloads only.
-  bt::Swarm& swarm() { return *swarm_; }
   metrics::Registry& registry() { return registry_; }
 
+  /// Valid after setup(), swarm workloads only (defined in
+  /// workload_swarm.cpp beside the type it casts to).
+  bt::Swarm& swarm();
   /// Median completion time (seconds) of the finished clients; -1 if none.
-  /// Valid after execute().
+  /// Valid after execute(). Swarm workloads only.
   double median_completion_sec() const;
   /// Reference median from a clean run, reported in the churn summary CSV
   /// (-1 = no baseline was run).
   void set_baseline_median(double median) { baseline_median_ = median; }
+  double baseline_median() const { return baseline_median_; }
+
+  // Shared services for Workload implementations.
+  /// Clock right after the stop condition (pre-drain); time-series outputs
+  /// sample up to here.
+  void set_end_of_run(SimTime t) { end_of_run_ = t; }
+  SimTime end_of_run() const { return end_of_run_; }
+  /// Fold the BSP profile into the registry and flush the Perfetto
+  /// timeline; no-op when profiling is off.
+  void write_profile_outputs();
+  /// The standardized BENCH_*.json run summary (core/bench_report.hpp):
+  /// the run economics plus the workload's scale field and any extra
+  /// workload metrics. No-op when outputs.bench_json is empty.
+  void write_bench_json(
+      double wall_seconds, const char* scale_key, double scale_value,
+      const std::vector<std::pair<std::string, double>>& extra = {});
 
  private:
-  void setup_swarm();
-  void setup_faults();
-  int execute_swarm();
-  int execute_ping();
-  int execute_validate();  // validate.cpp
-  void write_swarm_outputs(double wall_seconds);
-  void write_accuracy_json(const std::vector<InvariantResult>& results,
-                           bool pass);  // validate.cpp
-  void write_profile_outputs();
-  void write_bench_json(double wall_seconds, double scale_field);
-
   ScenarioSpec spec_;
   // Declaration order is destruction-order-critical: the registry must
-  // outlive the platform (teardown increments bound counters), the
-  // platform must outlive swarm/injector/monitor users.
+  // outlive the platform (teardown increments bound counters), and the
+  // platform must outlive the workload (swarm/injector/monitor users) —
+  // workload_ is declared last so it is destroyed first.
   metrics::Registry registry_;
   std::unique_ptr<core::Platform> platform_;
-  std::unique_ptr<bt::Swarm> swarm_;
-  std::unique_ptr<fault::FaultInjector> injector_;
-  std::unique_ptr<metrics::HealthMonitor> monitor_;
+  const WorkloadPlugin* plugin_ = nullptr;
+  std::unique_ptr<Workload> workload_;
 
-  std::size_t first_client_vnode_ = 0;
-  std::vector<bool> faulted_;   // per client: scheduled to crash or leave
-  std::vector<bool> rejoins_;   // per client: scheduled to come back
-  std::size_t node_failures_ = 0;
   double baseline_median_ = -1.0;
-  SimTime end_of_run_;  // clock right after the stop condition (pre-drain)
+  SimTime end_of_run_;
   bool set_up_ = false;
 };
 

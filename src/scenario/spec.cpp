@@ -1,14 +1,17 @@
 #include "scenario/spec.hpp"
 
+#include "scenario/workload.hpp"
+
 namespace p2plab::scenario {
 
-const char* workload_type_name(WorkloadType type) {
-  switch (type) {
-    case WorkloadType::kSwarm: return "swarm";
-    case WorkloadType::kPingSweep: return "ping_sweep";
-    case WorkloadType::kValidate: return "validate";
-  }
-  return "unknown";
+std::size_t ScenarioSpec::vnodes() const {
+  return WorkloadRegistry::instance().require(workload).vnodes(*this);
+}
+
+std::size_t ScenarioSpec::effective_shards() const {
+  return WorkloadRegistry::instance().require(workload).classic_only()
+             ? 0
+             : engine.shards;
 }
 
 std::string ScenarioSpec::resolved_profile_trace() const {
@@ -28,6 +31,8 @@ std::vector<std::string> ScenarioSpec::declared_outputs() const {
   csv_file(outputs.completion_curve);
   csv_file(outputs.summary);
   csv_file(outputs.csv);
+  csv_file(outputs.detection_csv);
+  csv_file(outputs.fp_summary);
   // The health monitor samples from inside one simulation: classic only.
   if (effective_shards() == 0) csv_file(outputs.metrics);
   if (!outputs.accuracy_json.empty()) {

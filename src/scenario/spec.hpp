@@ -19,6 +19,7 @@
 #include "bittorrent/swarm.hpp"
 #include "common/time.hpp"
 #include "fault/plan.hpp"
+#include "gossip/protocol.hpp"
 #include "topology/topology.hpp"
 
 namespace p2plab::scenario {
@@ -37,15 +38,7 @@ struct TopologySection {
   std::optional<topology::Topology> built;
 };
 
-enum class WorkloadType {
-  kSwarm,      // the BitTorrent swarm experiments (Figs 8-11, churn)
-  kPingSweep,  // the firewall-rule RTT sweep (Fig 6)
-  kValidate,   // the emulator-accuracy harness (scenarios/accuracy.scn)
-};
-
-const char* workload_type_name(WorkloadType type);
-
-/// Parameters of the kValidate workload: the self-validating accuracy
+/// Parameters of the validate workload: the self-validating accuracy
 /// harness (DESIGN.md §13). It derives its expectations from the configured
 /// topology — bottleneck bandwidths, path latencies — runs single-flow and
 /// N-flow transfers plus datagram probes over the real socket/pipe stack,
@@ -89,7 +82,7 @@ enum class TransportModel {
   kTcp,   // NewReno-style slow start / AIMD / fast retransmit
 };
 
-/// Parameters of the kPingSweep workload: two (or more) nodes, rules padded
+/// Parameters of the ping_sweep workload: two (or more) nodes, rules padded
 /// onto node 0's firewall in `rules_step` increments up to `rules_max`,
 /// `probes` pings per step. Classic engine only (ping bypasses sockets).
 struct PingSweepParams {
@@ -177,6 +170,10 @@ struct OutputsSection {
   std::string csv_note;
   // Validate output: the per-invariant accuracy verdict (name + ".json").
   std::string accuracy_json;
+  // Gossip outputs: per-victim crash → first-confirm latencies, and the
+  // one-row false-positive summary under burst loss.
+  std::string detection_csv;
+  std::string fp_summary;
   // Cross-workload outputs.
   std::string bench_json;  // standardized BENCH_*.json run summary
   std::string profile_trace;  // Perfetto timeline (full filename)
@@ -186,23 +183,19 @@ struct OutputsSection {
 struct ScenarioSpec {
   std::string name;
   TopologySection topology;
-  WorkloadType workload = WorkloadType::kSwarm;
+  /// The `[workload] type` name; resolved through the WorkloadRegistry
+  /// (workload.hpp), which is the single source of truth for valid names.
+  std::string workload = "swarm";
   bt::SwarmConfig swarm;
   PingSweepParams ping;
   ValidateParams validate;
+  gossip::Config gossip;
   FaultsSection faults;
   EngineSection engine;
   OutputsSection outputs;
 
-  /// Virtual nodes the workload occupies.
-  std::size_t vnodes() const {
-    switch (workload) {
-      case WorkloadType::kSwarm: return bt::swarm_vnodes(swarm);
-      case WorkloadType::kPingSweep: return ping.nodes;
-      case WorkloadType::kValidate: return validate.nodes;
-    }
-    return 0;
-  }
+  /// Virtual nodes the workload occupies (registry-dispatched).
+  std::size_t vnodes() const;
 
   /// Physical cluster size after resolving auto/fold.
   std::size_t resolved_physical_nodes() const {
@@ -213,12 +206,9 @@ struct ScenarioSpec {
     return vnodes();
   }
 
-  /// Shards the run will actually use: the ping workload drives the
-  /// platform through Platform::ping + Simulation::run, which the engine
-  /// does not carry, so it always runs classic.
-  std::size_t effective_shards() const {
-    return workload == WorkloadType::kPingSweep ? 0 : engine.shards;
-  }
+  /// Shards the run will actually use: classic-only workloads (ping_sweep
+  /// drives Platform::ping + Simulation::run directly) always run with 0.
+  std::size_t effective_shards() const;
 
   /// Perfetto timeline file name: outputs.profile_trace when named,
   /// "profile.json" when profiling is merely switched on, "" when off.

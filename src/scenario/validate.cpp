@@ -8,8 +8,11 @@
 #include <limits>
 
 #include "ipfw/pipe.hpp"
+#include "metrics/health.hpp"
 #include "metrics/stats.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/workload.hpp"
+#include "topology/parser.hpp"
 
 namespace p2plab::scenario {
 
@@ -465,50 +468,18 @@ void ValidateHarness::phase_loss(std::vector<InvariantResult>& out) {
 }
 
 // ---------------------------------------------------------------------------
-// ExperimentRunner's validate entry point (runner.cpp dispatches here).
+// The `validate` workload plugin: the emulator-accuracy harness wrapped
+// for the registry.
 
-int ExperimentRunner::execute_validate() {
-  const auto wall_start = std::chrono::steady_clock::now();
-  ValidateHarness harness(*platform_, spec_);
-  const std::vector<InvariantResult> results = harness.run();
-  end_of_run_ = platform_->now();
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+namespace {
 
-  int failures = 0;
-  for (const InvariantResult& r : results) {
-    std::printf("# invariant %-22s %-4s measured=%-12.6g expected=%-12.6g "
-                "tolerance=%.3g%s%s\n",
-                r.name.c_str(), r.pass ? "ok" : "FAIL", r.measured,
-                r.expected, r.tolerance, r.detail.empty() ? "" : "  ",
-                r.detail.c_str());
-    failures += !r.pass;
-  }
-  std::printf("# accuracy: %zu/%zu invariants within tolerance at t=%.0f s; "
-              "%llu events\n",
-              results.size() - static_cast<std::size_t>(failures),
-              results.size(), end_of_run_.to_seconds(),
-              static_cast<unsigned long long>(
-                  platform_->dispatched_events()));
-
-  write_accuracy_json(results, failures == 0);
-  if (!spec_.outputs.bench_json.empty()) {
-    write_bench_json(wall_seconds,
-                     static_cast<double>(spec_.validate.flows));
-  }
-  write_profile_outputs();
-  if (spec_.outputs.report) metrics::print_registry_report(registry_);
-  return failures == 0 ? 0 : 1;
-}
-
-void ExperimentRunner::write_accuracy_json(
-    const std::vector<InvariantResult>& results, bool pass) {
-  const std::string& name = spec_.outputs.accuracy_json;
+void write_accuracy_json(const ScenarioSpec& spec,
+                         const std::vector<InvariantResult>& results,
+                         bool pass) {
+  const std::string& name = spec.outputs.accuracy_json;
   if (name.empty()) return;
   char buf[160];
-  std::string json = "{\"scenario\": \"" + spec_.name + "\", \"pass\": " +
+  std::string json = "{\"scenario\": \"" + spec.name + "\", \"pass\": " +
                      (pass ? "1" : "0") + ", \"invariants\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const InvariantResult& r = results[i];
@@ -532,6 +503,165 @@ void ExperimentRunner::write_accuracy_json(
                    "stdout\n", dir, name.c_str());
     }
   }
+}
+
+class ValidateWorkload final : public Workload {
+ public:
+  explicit ValidateWorkload(const ScenarioSpec& spec) : spec_(spec) {}
+
+  void setup(ExperimentRunner& runner) override {
+    runner.platform().bind_metrics(runner.registry());
+  }
+
+  int execute(ExperimentRunner& runner) override {
+    core::Platform& platform = runner.platform();
+    const auto wall_start = std::chrono::steady_clock::now();
+    ValidateHarness harness(platform, spec_);
+    const std::vector<InvariantResult> results = harness.run();
+    runner.set_end_of_run(platform.now());
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    int failures = 0;
+    for (const InvariantResult& r : results) {
+      std::printf("# invariant %-22s %-4s measured=%-12.6g expected=%-12.6g "
+                  "tolerance=%.3g%s%s\n",
+                  r.name.c_str(), r.pass ? "ok" : "FAIL", r.measured,
+                  r.expected, r.tolerance, r.detail.empty() ? "" : "  ",
+                  r.detail.c_str());
+      failures += !r.pass;
+    }
+    std::printf("# accuracy: %zu/%zu invariants within tolerance at "
+                "t=%.0f s; %llu events\n",
+                results.size() - static_cast<std::size_t>(failures),
+                results.size(), runner.end_of_run().to_seconds(),
+                static_cast<unsigned long long>(
+                    platform.dispatched_events()));
+
+    write_accuracy_json(spec_, results, failures == 0);
+    runner.write_bench_json(wall_seconds, "flows",
+                            static_cast<double>(spec_.validate.flows));
+    runner.write_profile_outputs();
+    if (spec_.outputs.report) {
+      metrics::print_registry_report(runner.registry());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  const ScenarioSpec& spec_;
+};
+
+class ValidatePlugin final : public WorkloadPlugin {
+ public:
+  const char* name() const override { return "validate"; }
+  const char* description() const override {
+    return "emulator-accuracy harness: goodput, RTT, fairness, loss "
+           "invariants";
+  }
+
+  std::vector<const char*> workload_keys() const override {
+    return {"nodes",          "flows",         "transfer",
+            "message",        "loss_datagrams", "ge_p_good_bad",
+            "ge_p_bad_good",  "ge_loss_bad",   "goodput_tolerance",
+            "rtt_tolerance",  "loss_tolerance", "jain_min",
+            "expect_bandwidth"};
+  }
+  std::vector<const char*> output_keys() const override {
+    return {"accuracy_json"};
+  }
+
+  bool parse_workload(ParamReader& reader,
+                      ScenarioSpec& spec) const override {
+    bool nodes_ok = true;
+    const KvEntry* nodes_entry = nullptr;
+    bool ok = reader.take_count("nodes",
+                                [&](std::uint64_t v, const KvEntry& entry) {
+                                  spec.validate.nodes =
+                                      static_cast<std::size_t>(v);
+                                  nodes_entry = &entry;
+                                  nodes_ok = v >= 3;
+                                });
+    if (ok && !nodes_ok) {
+      return reader.fail(*nodes_entry, "validate needs nodes >= 3");
+    }
+    bool flows_ok = true;
+    const KvEntry* flows_entry = nullptr;
+    ok = ok && reader.take_count("flows",
+                                 [&](std::uint64_t v, const KvEntry& entry) {
+                                   spec.validate.flows =
+                                       static_cast<std::size_t>(v);
+                                   flows_entry = &entry;
+                                   flows_ok = v >= 1;
+                                 });
+    if (ok && !flows_ok) {
+      return reader.fail(*flows_entry, "validate needs flows >= 1");
+    }
+    ok = ok && reader.take_size("transfer", [&](DataSize v) {
+      spec.validate.transfer = v;
+    });
+    ok = ok && reader.take_size("message", [&](DataSize v) {
+      spec.validate.message = v;
+    });
+    ok = ok && reader.take_count("loss_datagrams",
+                                 [&](std::uint64_t v, const KvEntry&) {
+                                   spec.validate.loss_datagrams =
+                                       static_cast<std::size_t>(v);
+                                 });
+    ok = ok && reader.take_probability("ge_p_good_bad",
+                                       &spec.validate.ge_p_good_bad);
+    ok = ok && reader.take_probability("ge_p_bad_good",
+                                       &spec.validate.ge_p_bad_good);
+    ok = ok && reader.take_probability("ge_loss_bad",
+                                       &spec.validate.ge_loss_bad);
+    ok = ok && reader.take_probability("goodput_tolerance",
+                                       &spec.validate.goodput_tolerance);
+    ok = ok && reader.take_probability("rtt_tolerance",
+                                       &spec.validate.rtt_tolerance);
+    ok = ok && reader.take_probability("loss_tolerance",
+                                       &spec.validate.loss_tolerance);
+    ok = ok && reader.take_probability("jain_min",
+                                       &spec.validate.jain_min);
+    if (!ok) return false;
+    if (KvEntry* entry = reader.take("expect_bandwidth")) {
+      const auto bw = topology::parse_bandwidth(entry->value);
+      if (!bw) {
+        return reader.fail(*entry, "bad bandwidth '" + entry->value +
+                                       "' for expect_bandwidth");
+      }
+      spec.validate.expect_bandwidth = *bw;
+    }
+    if (spec.validate.flows + 1 > spec.validate.nodes) {
+      const KvEntry* blame =
+          flows_entry != nullptr ? flows_entry : nodes_entry;
+      return reader.fail_at(
+          blame != nullptr ? blame->source : "[workload]",
+          "validate needs nodes > flows (a fairness sink besides "
+          "the sources)");
+    }
+    return true;
+  }
+
+  bool parse_outputs(ParamReader& reader, ScenarioSpec& spec) const override {
+    return reader.take_string("accuracy_json", &spec.outputs.accuracy_json);
+  }
+
+  std::size_t vnodes(const ScenarioSpec& spec) const override {
+    return spec.validate.nodes;
+  }
+  bool classic_only() const override { return true; }
+
+  std::unique_ptr<Workload> create(const ScenarioSpec& spec) const override {
+    return std::make_unique<ValidateWorkload>(spec);
+  }
+};
+
+}  // namespace
+
+void register_validate_workload(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<ValidatePlugin>());
 }
 
 }  // namespace p2plab::scenario

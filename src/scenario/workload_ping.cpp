@@ -1,0 +1,154 @@
+// The `ping_sweep` workload plugin: RTT vs. installed firewall rules
+// (the paper's Fig 6 microbenchmark). Classic engine only — the sweep
+// interleaves rule installation with synchronous ping rounds, which has
+// no meaning under sharded BSP.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/health.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/trace.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/workload.hpp"
+
+namespace p2plab::scenario {
+
+namespace {
+
+class PingWorkload final : public Workload {
+ public:
+  explicit PingWorkload(const ScenarioSpec& spec) : spec_(spec) {}
+
+  void setup(ExperimentRunner& runner) override {
+    runner.platform().bind_metrics(runner.registry());
+  }
+
+  int execute(ExperimentRunner& runner) override {
+    core::Platform& platform = runner.platform();
+    const auto wall_start = std::chrono::steady_clock::now();
+    const OutputsSection& out = spec_.outputs;
+    std::unique_ptr<metrics::CsvWriter> csv;
+    if (!out.csv.empty()) {
+      csv = std::make_unique<metrics::CsvWriter>(
+          out.csv, std::vector<std::string>{"rules", "rtt_avg_ms",
+                                            "rtt_min_ms", "rtt_max_ms"});
+      csv->comment("seed=" + std::to_string(spec_.engine.seed));
+    }
+
+    const Ipv4Addr a = platform.network().host(0).admin_ip();
+    const Ipv4Addr b = platform.network().host(1).admin_ip();
+    std::uint32_t installed = 0;
+    std::uint32_t next_rule_number = 1000;
+    for (std::uint32_t rules = 0; rules <= spec_.ping.rules_max;
+         rules += spec_.ping.rules_step) {
+      if (rules > installed) {
+        platform.network().host(0).firewall().add_filler_rules(
+            next_rule_number, rules - installed);
+        next_rule_number += rules - installed;
+        installed = rules;
+      }
+      metrics::Summary rtt;
+      for (std::size_t probe = 0; probe < spec_.ping.probes; ++probe) {
+        platform.ping(a, b, [&](Duration d) { rtt.add(d.to_millis()); });
+        platform.sim().run();
+      }
+      if (csv) {
+        csv->row({std::to_string(rules), std::to_string(rtt.mean()),
+                  std::to_string(rtt.min()), std::to_string(rtt.max())});
+      }
+    }
+    if (csv && !out.csv_note.empty()) csv->comment(out.csv_note);
+    runner.set_end_of_run(platform.now());
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    runner.write_bench_json(wall_seconds, "rules_max",
+                            static_cast<double>(spec_.ping.rules_max));
+    runner.write_profile_outputs();
+    if (out.report) metrics::print_registry_report(runner.registry());
+    return 0;
+  }
+
+ private:
+  const ScenarioSpec& spec_;
+};
+
+class PingSweepPlugin final : public WorkloadPlugin {
+ public:
+  const char* name() const override { return "ping_sweep"; }
+  const char* description() const override {
+    return "RTT vs. firewall rule count sweep (Fig 6, classic engine)";
+  }
+
+  std::vector<const char*> workload_keys() const override {
+    return {"nodes", "rules_max", "rules_step", "probes"};
+  }
+  std::vector<const char*> output_keys() const override {
+    return {"csv", "csv_note"};
+  }
+
+  bool parse_workload(ParamReader& reader,
+                      ScenarioSpec& spec) const override {
+    bool nodes_ok = true;
+    const KvEntry* nodes_entry = nullptr;
+    bool ok = reader.take_count("nodes",
+                                [&](std::uint64_t v, const KvEntry& entry) {
+                                  spec.ping.nodes =
+                                      static_cast<std::size_t>(v);
+                                  nodes_entry = &entry;
+                                  nodes_ok = v >= 2;
+                                });
+    if (ok && !nodes_ok) {
+      return reader.fail(*nodes_entry, "ping_sweep needs nodes >= 2");
+    }
+    ok = ok && reader.take_count("rules_max",
+                                 [&](std::uint64_t v, const KvEntry&) {
+                                   spec.ping.rules_max =
+                                       static_cast<std::uint32_t>(v);
+                                 });
+    const KvEntry* step_entry = nullptr;
+    ok = ok && reader.take_count("rules_step",
+                                 [&](std::uint64_t v, const KvEntry& entry) {
+                                   spec.ping.rules_step =
+                                       static_cast<std::uint32_t>(v);
+                                   step_entry = &entry;
+                                 });
+    if (ok && step_entry != nullptr && spec.ping.rules_step == 0) {
+      return reader.fail(*step_entry, "rules_step must be positive");
+    }
+    ok = ok && reader.take_count("probes",
+                                 [&](std::uint64_t v, const KvEntry&) {
+                                   spec.ping.probes =
+                                       static_cast<std::size_t>(v);
+                                 });
+    return ok;
+  }
+
+  bool parse_outputs(ParamReader& reader, ScenarioSpec& spec) const override {
+    bool ok = reader.take_string("csv", &spec.outputs.csv);
+    ok = ok && reader.take_string("csv_note", &spec.outputs.csv_note);
+    return ok;
+  }
+
+  std::size_t vnodes(const ScenarioSpec& spec) const override {
+    return spec.ping.nodes;
+  }
+  bool classic_only() const override { return true; }
+
+  std::unique_ptr<Workload> create(const ScenarioSpec& spec) const override {
+    return std::make_unique<PingWorkload>(spec);
+  }
+};
+
+}  // namespace
+
+void register_ping_sweep_workload(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<PingSweepPlugin>());
+}
+
+}  // namespace p2plab::scenario

@@ -1,0 +1,454 @@
+// The `swarm` workload plugin: the BitTorrent swarm experiments
+// (Figs 8-11, churn). Construction order matters and is preserved from
+// the pre-registry runner exactly — registry before platform so teardown
+// still counts, churn RNG forked after the swarm exists, the health
+// monitor started last — so spec-driven runs stay bit-identical to the
+// hand-written benches they replaced.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bittorrent/swarm.hpp"
+#include "common/assert.hpp"
+#include "fault/injector.hpp"
+#include "metrics/health.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/trace.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/workload.hpp"
+
+namespace p2plab::scenario {
+
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+class SwarmWorkload final : public Workload {
+ public:
+  explicit SwarmWorkload(const ScenarioSpec& spec) : spec_(spec) {}
+
+  void setup(ExperimentRunner& runner) override;
+  int execute(ExperimentRunner& runner) override;
+
+  bt::Swarm& swarm() { return *swarm_; }
+  const bt::Swarm& swarm() const { return *swarm_; }
+
+ private:
+  void setup_faults(ExperimentRunner& runner);
+  void write_outputs(ExperimentRunner& runner, double wall_seconds);
+
+  const ScenarioSpec& spec_;
+  std::unique_ptr<bt::Swarm> swarm_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<metrics::HealthMonitor> monitor_;
+  std::size_t first_client_vnode_ = 0;
+  std::vector<bool> faulted_;  // per client: scheduled to crash or leave
+  std::vector<bool> rejoins_;  // per client: scheduled to come back
+  std::size_t node_failures_ = 0;
+};
+
+void SwarmWorkload::setup(ExperimentRunner& runner) {
+  core::Platform& platform = runner.platform();
+  swarm_ = std::make_unique<bt::Swarm>(platform, spec_.swarm);
+  swarm_->bind_metrics(runner.registry());
+  first_client_vnode_ = 1 + spec_.swarm.seeders;
+  setup_faults(runner);
+  // The health monitor samples from inside one simulation: classic-only.
+  // Started last, matching the figure harnesses' event order.
+  if (!spec_.outputs.metrics.empty() && !platform.engine_mode()) {
+    monitor_ = std::make_unique<metrics::HealthMonitor>(
+        metrics::HealthMonitor::Options{.csv_name = spec_.outputs.metrics});
+    monitor_->start(platform.sim(), runner.registry());
+  }
+}
+
+void SwarmWorkload::setup_faults(ExperimentRunner& runner) {
+  core::Platform& platform = runner.platform();
+  faulted_.assign(spec_.swarm.clients, false);
+  rejoins_.assign(spec_.swarm.clients, false);
+  if (spec_.faults.empty()) return;
+
+  // Churn schedules expand first (forked off the platform RNG at exactly
+  // this point of construction — the pre-refactor churn bench's order), and
+  // the explicit plan appends behind them; the stable time sort then
+  // reproduces the bench's spec order exactly.
+  fault::FaultPlan plan;
+  if (spec_.faults.churn.enabled) {
+    const ChurnDirective& d = spec_.faults.churn;
+    Rng churn_rng = platform.rng().fork(d.rng_stream);
+    fault::ChurnConfig churn;
+    churn.first_node = d.first_node.value_or(first_client_vnode_);
+    churn.last_node = d.last_node.value_or(first_client_vnode_ +
+                                           spec_.swarm.clients - 1);
+    churn.fraction = d.fraction;
+    churn.window_start = SimTime::zero() + d.window_start;
+    churn.window_end = SimTime::zero() + d.window_end;
+    churn.rejoin_fraction = d.rejoin_fraction;
+    churn.rejoin_min = d.rejoin_min;
+    churn.rejoin_max = d.rejoin_max;
+    churn.leave_fraction = d.leave_fraction;
+    plan = fault::FaultPlan::churn(churn, churn_rng);
+  }
+  plan.append(spec_.faults.plan);
+  plan.sort();
+
+  // Which clients fail, and which of those come back.
+  for (const fault::FaultSpec& fault_spec : plan.specs()) {
+    if (fault_spec.kind != fault::FaultKind::kCrash &&
+        fault_spec.kind != fault::FaultKind::kLeave) {
+      continue;
+    }
+    ++node_failures_;
+    if (fault_spec.node < first_client_vnode_ ||
+        fault_spec.node >= first_client_vnode_ + spec_.swarm.clients) {
+      continue;  // seeder/tracker fault: no survivor accounting
+    }
+    faulted_[fault_spec.node - first_client_vnode_] = true;
+    rejoins_[fault_spec.node - first_client_vnode_] = fault_spec.rejoin;
+  }
+  std::printf("# plan: %zu faults, %zu node failures (%zu clients)\n",
+              plan.size(), node_failures_, spec_.swarm.clients);
+
+  injector_ = std::make_unique<fault::FaultInjector>(platform,
+                                                     std::move(plan));
+  injector_->bind_metrics(runner.registry());
+  // vnode layout contract: 0 = tracker, 1..seeders = seeders, rest clients.
+  auto process_of = [this](std::size_t v) -> bt::Client* {
+    if (v >= first_client_vnode_) {
+      return &swarm_->client(v - first_client_vnode_);
+    }
+    if (v >= 1) return &swarm_->seeder(v - 1);
+    return nullptr;  // tracker: infrastructure-only, use tracker_outage
+  };
+  injector_->set_node_hooks(fault::NodeHooks{
+      .on_crash = [process_of](std::size_t v) {
+        if (bt::Client* c = process_of(v)) c->crash();
+      },
+      .on_leave = [process_of](std::size_t v) {
+        if (bt::Client* c = process_of(v)) c->stop();
+      },
+      .on_rejoin = [process_of](std::size_t v) {
+        if (bt::Client* c = process_of(v)) c->start();
+      }});
+  injector_->set_service_hooks(fault::ServiceHooks{
+      .on_tracker_outage = [this] { swarm_->tracker().set_online(false); },
+      .on_tracker_restore = [this] { swarm_->tracker().set_online(true); }});
+  injector_->arm();
+}
+
+int SwarmWorkload::execute(ExperimentRunner& runner) {
+  core::Platform& platform = runner.platform();
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto count_survivors = [this] {
+    std::size_t done = 0;
+    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
+      done += (!faulted_[c] || rejoins_[c]) &&
+              swarm_->client(c).has_completed();
+    }
+    return done;
+  };
+  std::size_t expected_survivors = 0;
+  for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
+    expected_survivors += !faulted_[c] || rejoins_[c];
+  }
+
+  switch (spec_.engine.stop) {
+    case StopMode::kAllComplete:
+      swarm_->run();
+      break;
+    case StopMode::kSurvivorsComplete:
+      platform.run(SimTime::zero() + spec_.swarm.max_duration,
+                   [&] { return count_survivors() == expected_survivors; },
+                   Duration::sec(5));
+      break;
+    case StopMode::kTime:
+      platform.run(SimTime::zero() + spec_.engine.run_for);
+      break;
+  }
+  const double wall_seconds = wall_seconds_since(wall_start);
+  runner.set_end_of_run(platform.now());
+  if (monitor_) {
+    monitor_->stop();
+    monitor_->print_report();
+  }
+  std::printf("# %zu/%zu clients complete at t=%.0f s; %llu events; "
+              "%zu pnodes x %zu vnodes\n",
+              swarm_->completed_count(), swarm_->client_count(),
+              runner.end_of_run().to_seconds(),
+              static_cast<unsigned long long>(platform.dispatched_events()),
+              platform.physical_node_count(), platform.folding_ratio());
+
+  int failures = 0;
+  if (spec_.engine.check_invariants) {
+    auto check = [&](bool ok, const char* what) {
+      std::printf("# check %-46s %s\n", what, ok ? "ok" : "FAIL");
+      if (!ok) ++failures;
+    };
+    if (spec_.engine.stop == StopMode::kSurvivorsComplete) {
+      const std::size_t survivors = count_survivors();
+      check(survivors == expected_survivors,
+            "churn: every surviving leecher completes");
+      std::printf("# survivors complete: %zu/%zu (of %zu clients)\n",
+                  survivors, expected_survivors, spec_.swarm.clients);
+    } else {
+      check(swarm_->all_complete(), "all clients complete");
+    }
+    if (injector_) {
+      check(injector_->stats().unrecovered() == 0,
+            "every injected fault recovered");
+      std::printf("# faults: injected=%llu recovered=%llu\n",
+                  static_cast<unsigned long long>(
+                      injector_->stats().injected),
+                  static_cast<unsigned long long>(
+                      injector_->stats().recovered));
+    }
+    // Nothing wedged: stop the world and the event queue must drain — any
+    // surviving retransmit timer or periodic task would keep it non-empty.
+    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
+      swarm_->client(c).stop();
+    }
+    for (std::size_t s = 0; s < spec_.swarm.seeders; ++s) {
+      swarm_->seeder(s).stop();
+    }
+    swarm_->tracker().set_online(false);
+    check(platform.run(platform.now() + Duration::sec(700)) ==
+              core::Platform::RunResult::kDrained,
+          "event queue drains after stop (no wedged timers)");
+  }
+
+  write_outputs(runner, wall_seconds);
+  return failures == 0 ? 0 : 1;
+}
+
+void SwarmWorkload::write_outputs(ExperimentRunner& runner,
+                                  double wall_seconds) {
+  const OutputsSection& out = spec_.outputs;
+  runner.write_bench_json(wall_seconds, "clients",
+                          static_cast<double>(spec_.swarm.clients));
+  // Time-series outputs sample on the grid up to one step past the stop
+  // condition (not past the invariant drain).
+  const Duration grid = out.grid;
+  const SimTime grid_end = runner.end_of_run() + grid;
+
+  if (!out.progress_envelope.empty()) {
+    metrics::CsvWriter envelope(
+        out.progress_envelope,
+        {"time_s", "pct_min", "pct_p25", "pct_median", "pct_p75", "pct_max",
+         "clients_complete"});
+    envelope.comment("seed=" + std::to_string(spec_.swarm.content_seed));
+    for (SimTime t = SimTime::zero(); t <= grid_end; t += grid) {
+      metrics::Distribution pct;
+      std::size_t complete = 0;
+      for (std::size_t i = 0; i < swarm_->client_count(); ++i) {
+        pct.add(swarm_->client(i).progress().value_at(t));
+        complete += swarm_->client(i).has_completed() &&
+                    swarm_->client(i).completion_time() <= t;
+      }
+      envelope.row({t.to_seconds(), pct.min(), pct.quantile(0.25),
+                    pct.median(), pct.quantile(0.75), pct.max(),
+                    static_cast<double>(complete)});
+    }
+  }
+
+  if (!out.completions.empty()) {
+    metrics::CsvWriter completions(out.completions,
+                                   {"client", "start_s", "completion_s"});
+    for (std::size_t i = 0; i < swarm_->client_count(); ++i) {
+      completions.row(
+          {static_cast<double>(i),
+           static_cast<double>(i) * spec_.swarm.start_interval.to_seconds(),
+           swarm_->client(i).has_completed()
+               ? swarm_->client(i).completion_time().to_seconds()
+               : -1.0});
+    }
+    if (!out.completions_note.empty()) {
+      completions.comment(out.completions_note);
+    }
+  }
+
+  if (!out.sampled_progress.empty()) {
+    metrics::CsvWriter sampled(out.sampled_progress,
+                               {"client", "time_s", "pct_done"});
+    sampled.comment("seed=" + std::to_string(spec_.swarm.content_seed));
+    const std::size_t every = out.sampled_every;
+    for (std::size_t c = every; c <= swarm_->client_count(); c += every) {
+      const auto& series = swarm_->client(c - 1).progress();
+      for (SimTime t = SimTime::zero(); t <= grid_end; t += grid) {
+        sampled.row({static_cast<double>(c), t.to_seconds(),
+                     series.value_at(t)});
+      }
+    }
+  }
+
+  if (!out.completion_curve.empty()) {
+    metrics::CsvWriter curve_csv(out.completion_curve,
+                                 {"time_s", "clients_complete"});
+    const auto curve = swarm_->completion_curve();
+    for (const auto& [t, count] : curve.points()) {
+      curve_csv.row({t.to_seconds(), count});
+    }
+    if (!out.completion_curve_note.empty()) {
+      curve_csv.comment(out.completion_curve_note);
+    }
+  }
+
+  if (!out.summary.empty()) {
+    metrics::CsvWriter summary(out.summary,
+                               {"median_completion_s", "baseline_median_s",
+                                "failed_nodes", "rejoined_nodes",
+                                "faults_injected", "faults_recovered"});
+    std::size_t rejoined = 0;
+    for (std::size_t c = 0; c < spec_.swarm.clients; ++c) {
+      rejoined += rejoins_[c];
+    }
+    summary.row({runner.median_completion_sec(), runner.baseline_median(),
+                 static_cast<double>(node_failures_),
+                 static_cast<double>(rejoined),
+                 static_cast<double>(injector_ ? injector_->stats().injected
+                                               : 0),
+                 static_cast<double>(injector_ ? injector_->stats().recovered
+                                               : 0)});
+  }
+
+  if (!out.trace_file.empty()) {
+    runner.platform().flush_trace_to_results(out.trace_file.c_str());
+  }
+  runner.write_profile_outputs();
+  if (out.report) metrics::print_registry_report(runner.registry());
+}
+
+class SwarmPlugin final : public WorkloadPlugin {
+ public:
+  const char* name() const override { return "swarm"; }
+  const char* description() const override {
+    return "BitTorrent swarm experiments (Figs 8-11, churn, flash crowd)";
+  }
+
+  std::vector<const char*> workload_keys() const override {
+    return {"clients",      "seeders",       "file_size",
+            "piece_length", "start_interval", "content_seed",
+            "verify_hashes", "max_duration"};
+  }
+  std::vector<const char*> output_keys() const override {
+    return {"grid",          "progress_envelope", "completions",
+            "completions_note", "sampled_progress",  "sampled_every",
+            "completion_curve", "completion_curve_note", "summary",
+            "metrics",       "trace"};
+  }
+
+  bool parse_workload(ParamReader& reader,
+                      ScenarioSpec& spec) const override {
+    bool ok = reader.take_count("clients",
+                                [&](std::uint64_t v, const KvEntry&) {
+                                  spec.swarm.clients =
+                                      static_cast<std::size_t>(v);
+                                });
+    ok = ok && reader.take_count("seeders",
+                                 [&](std::uint64_t v, const KvEntry&) {
+                                   spec.swarm.seeders =
+                                       static_cast<std::size_t>(v);
+                                 });
+    ok = ok && reader.take_size("file_size", [&](DataSize v) {
+      spec.swarm.file_size = v;
+    });
+    ok = ok && reader.take_size("piece_length", [&](DataSize v) {
+      spec.swarm.piece_length = v;
+    });
+    ok = ok && reader.take_duration("start_interval",
+                                    [&](Duration v, const KvEntry&) {
+                                      spec.swarm.start_interval = v;
+                                    });
+    ok = ok && reader.take_count("content_seed",
+                                 [&](std::uint64_t v, const KvEntry&) {
+                                   spec.swarm.content_seed = v;
+                                 });
+    ok = ok && reader.take_bool("verify_hashes", [&](bool v) {
+      spec.swarm.verify_hashes = v;
+    });
+    ok = ok && reader.take_duration("max_duration",
+                                    [&](Duration v, const KvEntry&) {
+                                      spec.swarm.max_duration = v;
+                                    });
+    return ok;
+  }
+
+  bool parse_outputs(ParamReader& reader, ScenarioSpec& spec) const override {
+    const KvEntry* grid_entry = nullptr;
+    bool ok = reader.take_duration("grid",
+                                   [&](Duration v, const KvEntry& entry) {
+                                     spec.outputs.grid = v;
+                                     grid_entry = &entry;
+                                   });
+    if (ok && grid_entry != nullptr &&
+        spec.outputs.grid <= Duration::zero()) {
+      return reader.fail(*grid_entry, "grid must be positive");
+    }
+    ok = ok && reader.take_string("progress_envelope",
+                                  &spec.outputs.progress_envelope);
+    ok = ok && reader.take_string("completions", &spec.outputs.completions);
+    ok = ok && reader.take_string("completions_note",
+                                  &spec.outputs.completions_note);
+    ok = ok && reader.take_string("sampled_progress",
+                                  &spec.outputs.sampled_progress);
+    const KvEntry* every_entry = nullptr;
+    ok = ok && reader.take_count("sampled_every",
+                                 [&](std::uint64_t v, const KvEntry& entry) {
+                                   spec.outputs.sampled_every =
+                                       static_cast<std::size_t>(v);
+                                   every_entry = &entry;
+                                 });
+    if (ok && every_entry != nullptr && spec.outputs.sampled_every == 0) {
+      return reader.fail(*every_entry, "sampled_every must be positive");
+    }
+    ok = ok && reader.take_string("completion_curve",
+                                  &spec.outputs.completion_curve);
+    ok = ok && reader.take_string("completion_curve_note",
+                                  &spec.outputs.completion_curve_note);
+    ok = ok && reader.take_string("summary", &spec.outputs.summary);
+    ok = ok && reader.take_string("metrics", &spec.outputs.metrics);
+    ok = ok && reader.take_string("trace", &spec.outputs.trace_file);
+    return ok;
+  }
+
+  std::size_t vnodes(const ScenarioSpec& spec) const override {
+    return bt::swarm_vnodes(spec.swarm);
+  }
+  bool supports_faults() const override { return true; }
+  bool supports_survivors_stop() const override { return true; }
+
+  std::unique_ptr<Workload> create(const ScenarioSpec& spec) const override {
+    return std::make_unique<SwarmWorkload>(spec);
+  }
+};
+
+}  // namespace
+
+void register_swarm_workload(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<SwarmPlugin>());
+}
+
+// The swarm-only runner facades live beside the concrete type they cast
+// to; the assert keeps the cast honest without RTTI.
+bt::Swarm& ExperimentRunner::swarm() {
+  P2PLAB_ASSERT_MSG(spec_.workload == "swarm",
+                    "swarm() is only valid for swarm workloads");
+  return static_cast<SwarmWorkload&>(*workload_).swarm();
+}
+
+double ExperimentRunner::median_completion_sec() const {
+  P2PLAB_ASSERT_MSG(spec_.workload == "swarm",
+                    "median_completion_sec() is swarm-only");
+  const auto& workload = static_cast<const SwarmWorkload&>(*workload_);
+  metrics::Distribution d;
+  for (const double t : workload.swarm().completion_times_sec()) d.add(t);
+  return d.count() > 0 ? d.median() : -1.0;
+}
+
+}  // namespace p2plab::scenario

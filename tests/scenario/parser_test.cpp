@@ -41,7 +41,7 @@ TEST(ScenarioParser, MinimalSwarmDefaults) {
       "type swarm\n"
       "clients 8\n");
   EXPECT_EQ(spec.name, "tiny");
-  EXPECT_EQ(spec.workload, WorkloadType::kSwarm);
+  EXPECT_EQ(spec.workload, "swarm");
   EXPECT_EQ(spec.swarm.clients, 8u);
   EXPECT_EQ(spec.swarm.seeders, 4u);  // SwarmConfig defaults survive
   EXPECT_EQ(spec.swarm.file_size.count_bytes(), DataSize::mib(16).count_bytes());
@@ -119,7 +119,7 @@ TEST(ScenarioParserValidate, AllKeysParse) {
       "transport tcp\n"
       "[outputs]\n"
       "accuracy_json ACC\n");
-  EXPECT_EQ(spec.workload, WorkloadType::kValidate);
+  EXPECT_EQ(spec.workload, "validate");
   EXPECT_EQ(spec.validate.nodes, 6u);
   EXPECT_EQ(spec.validate.flows, 3u);
   EXPECT_EQ(spec.validate.transfer.count_bytes(),
@@ -195,6 +195,115 @@ TEST(ScenarioParserValidate, ValidateKeyInSwarmWorkload) {
                         "type swarm\n"
                         "jain_min 0.9\n"),
             "line 4: key 'jain_min' is not valid for workload type swarm");
+}
+
+TEST(ScenarioParserGossip, GossipKeysParse) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario g\n"
+      "[workload]\n"
+      "type gossip\n"
+      "nodes 16\n"
+      "period 500ms\n"
+      "ping_timeout 150ms\n"
+      "suspect_timeout 3\n"
+      "indirect 2\n"
+      "piggyback 6\n"
+      "join_interval 100ms\n"
+      "[engine]\n"
+      "stop time\n"
+      "run_for 60\n");
+  EXPECT_EQ(spec.workload, "gossip");
+  EXPECT_EQ(spec.gossip.nodes, 16u);
+  EXPECT_EQ(spec.gossip.period, Duration::ms(500));
+  EXPECT_EQ(spec.gossip.ping_timeout, Duration::ms(150));
+  EXPECT_EQ(spec.gossip.suspect_timeout, Duration::sec(3));
+  EXPECT_EQ(spec.gossip.indirect_k, 2u);
+  EXPECT_EQ(spec.gossip.piggyback, 6u);
+  EXPECT_EQ(spec.gossip.join_interval, Duration::ms(100));
+  EXPECT_EQ(spec.vnodes(), 16u);
+  EXPECT_EQ(spec.engine.stop, StopMode::kTime);
+}
+
+TEST(ScenarioParserGossip, UnknownWorkloadTypeEnumeratesRegistry) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type chord\n"),
+            "line 3: unknown workload type 'chord' "
+            "(expected gossip|ping_sweep|swarm|validate)");
+}
+
+TEST(ScenarioParserGossip, GossipKeyInSwarmWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type swarm\n"
+                        "suspect_timeout 3\n"),
+            "line 4: key 'suspect_timeout' is not valid for workload type "
+            "swarm");
+}
+
+TEST(ScenarioParserGossip, SwarmKeyInGossipWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type gossip\n"
+                        "clients 8\n"),
+            "line 4: key 'clients' is not valid for workload type gossip");
+}
+
+TEST(ScenarioParserGossip, SwarmOutputInGossipWorkload) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type gossip\n"
+                        "[engine]\n"
+                        "stop time\n"
+                        "run_for 60\n"
+                        "[outputs]\n"
+                        "completions done\n"),
+            "line 8: key 'completions' is not valid for workload type "
+            "gossip");
+}
+
+TEST(ScenarioParserGossip, GossipRequiresStopTime) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type gossip\n"
+                        "[engine]\n"
+                        "stop all_complete\n"),
+            "line 5: gossip requires stop=time (membership has no "
+            "completion; run_for bounds the experiment)");
+}
+
+TEST(ScenarioParserGossip, GossipDefaultStopRejected) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type gossip\n"),
+            "[engine]: gossip requires stop=time (membership has no "
+            "completion; run_for bounds the experiment)");
+}
+
+TEST(ScenarioParserGossip, SetOverrideBadDuration) {
+  EXPECT_EQ(parse_error("scenario x\n"
+                        "[workload]\n"
+                        "type gossip\n"
+                        "[engine]\n"
+                        "stop time\n"
+                        "run_for 60\n",
+                        {"workload.suspect_timeout=soon"}),
+            "--set workload.suspect_timeout=soon: bad duration 'soon' for "
+            "suspect_timeout");
+}
+
+TEST(ScenarioParserGossip, SetOverrideAppliesToGossip) {
+  const ScenarioSpec spec = parse_ok(
+      "scenario g\n"
+      "[workload]\n"
+      "type gossip\n"
+      "nodes 32\n"
+      "[engine]\n"
+      "stop time\n"
+      "run_for 60\n",
+      {"workload.nodes=12", "workload.indirect=5"});
+  EXPECT_EQ(spec.gossip.nodes, 12u);
+  EXPECT_EQ(spec.gossip.indirect_k, 5u);
 }
 
 // -- golden errors --------------------------------------------------------
@@ -324,7 +433,7 @@ TEST(ScenarioParserErrors, FaultsRequireSwarm) {
                         "type ping_sweep\n"
                         "[faults]\n"
                         "tracker_outage at=100 for=10\n"),
-            "line 5: [faults] requires workload type swarm");
+            "line 5: [faults] requires workload type gossip or swarm");
 }
 
 TEST(ScenarioParserErrors, UnterminatedQuote) {
@@ -468,6 +577,13 @@ void expect_equivalent(const ScenarioSpec& parsed, const ScenarioSpec& built) {
   EXPECT_EQ(parsed.validate.loss_tolerance, built.validate.loss_tolerance);
   EXPECT_EQ(parsed.validate.jain_min, built.validate.jain_min);
   EXPECT_EQ(parsed.validate.expect_bandwidth, built.validate.expect_bandwidth);
+  EXPECT_EQ(parsed.gossip.nodes, built.gossip.nodes);
+  EXPECT_EQ(parsed.gossip.period, built.gossip.period);
+  EXPECT_EQ(parsed.gossip.ping_timeout, built.gossip.ping_timeout);
+  EXPECT_EQ(parsed.gossip.suspect_timeout, built.gossip.suspect_timeout);
+  EXPECT_EQ(parsed.gossip.indirect_k, built.gossip.indirect_k);
+  EXPECT_EQ(parsed.gossip.piggyback, built.gossip.piggyback);
+  EXPECT_EQ(parsed.gossip.join_interval, built.gossip.join_interval);
   EXPECT_EQ(parsed.engine.transport, built.engine.transport);
   EXPECT_EQ(parsed.engine.shards, built.engine.shards);
   EXPECT_EQ(parsed.engine.physical_nodes, built.engine.physical_nodes);
@@ -526,6 +642,10 @@ TEST(ShippedScenarios, ChurnMatchesCatalog) {
 TEST(ShippedScenarios, FlashCrowdParses) {
   const ScenarioSpec spec = parse_shipped("flashcrowd.scn");
   expect_equivalent(spec, catalog::flash_crowd());
+}
+
+TEST(ShippedScenarios, GossipMatchesCatalog) {
+  expect_equivalent(parse_shipped("gossip.scn"), catalog::gossip());
 }
 
 TEST(ShippedScenarios, AccuracyMatchesCatalog) {

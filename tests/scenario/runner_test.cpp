@@ -97,7 +97,7 @@ TEST(ExperimentRunner, ChurnDirectiveInjectsAndRecovers) {
 TEST(ExperimentRunner, PingSweepProducesRttCurve) {
   ScenarioSpec spec;
   spec.name = "mini_ping";
-  spec.workload = WorkloadType::kPingSweep;
+  spec.workload = "ping_sweep";
   spec.ping.rules_max = 1000;
   spec.ping.rules_step = 500;
   spec.ping.probes = 2;

@@ -18,13 +18,15 @@
 
 #include "scenario/parser.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/workload.hpp"
 
 namespace {
 
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: p2plab_run <file.scn> [--set section.key=value]... "
-               "[--profile] [--print-outputs]\n");
+               "[--profile] [--print-outputs]\n"
+               "       p2plab_run --list-workloads\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -38,6 +40,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--list-workloads") {
+      // The registry is the single source of truth: this list is exactly
+      // what `[workload] type` accepts.
+      for (const auto* plugin :
+           p2plab::scenario::WorkloadRegistry::instance().plugins()) {
+        std::printf("%-12s %s\n", plugin->name(), plugin->description());
+      }
+      return 0;
+    }
     if (arg == "--print-outputs") {
       print_outputs = true;
     } else if (arg == "--profile") {
@@ -84,7 +95,7 @@ int main(int argc, char** argv) {
   std::printf("# === scenario %s: %s workload, %zu vnodes on %zu pnodes, "
               "shards=%zu ===\n",
               spec.name.c_str(),
-              p2plab::scenario::workload_type_name(spec.workload),
+              spec.workload.c_str(),
               spec.vnodes(), spec.resolved_physical_nodes(),
               spec.effective_shards());
   p2plab::scenario::ExperimentRunner runner(std::move(spec));
